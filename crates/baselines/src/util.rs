@@ -1,0 +1,46 @@
+//! Shared greedy-forwarding helpers.
+
+use gmp_geom::Point;
+use gmp_net::{NodeId, Topology};
+
+/// The neighbor of `node` strictly closer to `target` than `node` itself,
+/// minimizing the remaining distance (plain greedy geographic forwarding).
+pub fn greedy_next_hop(topo: &Topology, node: NodeId, target: Point) -> Option<NodeId> {
+    let own = topo.pos(node).dist_sq(target);
+    topo.neighbors(node)
+        .iter()
+        .copied()
+        .filter(|&n| topo.pos(n).dist_sq(target) < own)
+        .min_by(|&a, &b| {
+            topo.pos(a)
+                .dist_sq(target)
+                .total_cmp(&topo.pos(b).dist_sq(target))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_geom::Aabb;
+
+    #[test]
+    fn greedy_picks_strictly_closer_minimum() {
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(-10.0, 0.0),
+                Point::new(8.0, 4.0),
+            ],
+            Aabb::square(100.0),
+            20.0,
+        );
+        let target = Point::new(50.0, 0.0);
+        assert_eq!(greedy_next_hop(&topo, NodeId(0), target), Some(NodeId(1)));
+        // Target behind every neighbor: none qualifies.
+        assert_eq!(
+            greedy_next_hop(&topo, NodeId(1), Point::new(11.0, 0.0)),
+            None
+        );
+    }
+}

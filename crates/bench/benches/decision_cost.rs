@@ -1,0 +1,48 @@
+//! Section 4.2 — per-hop forwarding decision cost.
+//!
+//! The paper argues GMP's per-step complexity is `O(n² log n + n·m)`
+//! (destinations × neighbors), comparable to LGS's `O(n² + n·m)` and far
+//! below PBM's exponential subset search. These benchmarks measure one
+//! forwarding decision at the source for each protocol across destination
+//! counts at the paper's density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmp_baselines::{LgsRouter, PbmRouter};
+use gmp_core::GmpRouter;
+use gmp_net::Topology;
+use gmp_sim::{MulticastPacket, MulticastTask, NodeContext, Protocol, SimConfig};
+
+fn bench_decisions(c: &mut Criterion) {
+    let config = SimConfig::paper();
+    let topo = Topology::random(&config.topology_config(), 1);
+    let mut group = c.benchmark_group("forwarding_decision");
+    for k in [5usize, 15, 25] {
+        let task = MulticastTask::random(&topo, k, 7);
+        let ctx = NodeContext {
+            topo: &topo,
+            node: task.source,
+            config: &config,
+        };
+        let packet = MulticastPacket::new(0, task.source, task.dests.clone());
+        group.bench_with_input(BenchmarkId::new("GMP", k), &k, |b, _| {
+            let mut p = GmpRouter::new();
+            b.iter(|| p.on_packet(&ctx, packet.clone()));
+        });
+        group.bench_with_input(BenchmarkId::new("GMPnr", k), &k, |b, _| {
+            let mut p = GmpRouter::without_radio_range_awareness();
+            b.iter(|| p.on_packet(&ctx, packet.clone()));
+        });
+        group.bench_with_input(BenchmarkId::new("LGS", k), &k, |b, _| {
+            let mut p = LgsRouter::new();
+            b.iter(|| p.on_packet(&ctx, packet.clone()));
+        });
+        group.bench_with_input(BenchmarkId::new("PBM", k), &k, |b, _| {
+            let mut p = PbmRouter::with_lambda(0.3);
+            b.iter(|| p.on_packet(&ctx, packet.clone()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Substrate micro-benchmarks: topology construction, planarization, face
+//! routing, and a full end-to-end GMP task at paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gmp_core::GmpRouter;
+use gmp_net::face::gpsr_route;
+use gmp_net::planar::{planarize, PlanarKind};
+use gmp_net::{NodeId, Topology};
+use gmp_sim::{MulticastTask, SimConfig, TaskRunner};
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology");
+    for n in [250usize, 500, 1000] {
+        let config = SimConfig::paper().with_node_count(n);
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+            b.iter(|| Topology::random(&config.topology_config(), 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planarize(c: &mut Criterion) {
+    let config = SimConfig::paper();
+    let topo = Topology::random(&config.topology_config(), 1);
+    c.bench_function("planarize_gabriel_1000n", |b| {
+        b.iter(|| planarize(&topo, PlanarKind::Gabriel))
+    });
+    c.bench_function("planarize_rng_1000n", |b| {
+        b.iter(|| planarize(&topo, PlanarKind::RelativeNeighborhood))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let config = SimConfig::paper();
+    let topo = Topology::random(&config.topology_config(), 1);
+    c.bench_function("gpsr_unicast_1000n", |b| {
+        b.iter(|| gpsr_route(&topo, PlanarKind::Gabriel, NodeId(3), NodeId(997), 500))
+    });
+    let mut group = c.benchmark_group("gmp_task");
+    for k in [5usize, 15, 25] {
+        let task = MulticastTask::random(&topo, k, 11);
+        group.bench_with_input(BenchmarkId::new("end_to_end", k), &k, |b, _| {
+            b.iter(|| {
+                let mut router = GmpRouter::new();
+                TaskRunner::new(&topo, &config).run(&mut router, &task)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology, bench_planarize, bench_routing);
+criterion_main!(benches);

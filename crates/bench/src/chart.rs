@@ -1,0 +1,320 @@
+//! Minimal SVG line charts, so the experiment harness can regenerate the
+//! paper's *figures* and not just their tables.
+//!
+//! Deliberately dependency-free: fixed canvas, nice-number ticks, one
+//! polyline + marker shape per series, legend in the top-left. Output is
+//! a standalone SVG document.
+
+use std::fmt::Write as _;
+
+/// One line on a chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` samples in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A configured line chart.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+}
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 52.0;
+/// Okabe–Ito-ish palette: distinguishable in print and for most CVD.
+const COLORS: [&str; 7] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#000000",
+];
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (order fixes its color/marker).
+    pub fn series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+        self
+    }
+
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// Charts with no finite data points render an "empty" placeholder
+    /// instead of panicking.
+    pub fn render_svg(&self) -> String {
+        let finite: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        let mut svg = String::new();
+        let _ = writeln!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.0}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+            WIDTH / 2.0,
+            xml_escape(&self.title)
+        );
+        if finite.is_empty() {
+            let _ = writeln!(
+                svg,
+                r#"<text x="{:.0}" y="{:.0}" font-size="13" text-anchor="middle">(no data)</text>"#,
+                WIDTH / 2.0,
+                HEIGHT / 2.0
+            );
+            svg.push_str("</svg>\n");
+            return svg;
+        }
+        let (x_min, x_max) = extent(finite.iter().map(|p| p.0));
+        // Y axis always starts at zero: every metric here is a count.
+        let (_, y_raw_max) = extent(finite.iter().map(|p| p.1));
+        let y_min = 0.0;
+        let y_max = if y_raw_max <= 0.0 {
+            1.0
+        } else {
+            y_raw_max * 1.05
+        };
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h;
+
+        // Axes.
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{l:.1}" y1="{t:.1}" x2="{l:.1}" y2="{b:.1}" stroke="black"/>"#,
+            l = MARGIN_L,
+            t = MARGIN_T,
+            b = MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            svg,
+            r#"<line x1="{l:.1}" y1="{b:.1}" x2="{r:.1}" y2="{b:.1}" stroke="black"/>"#,
+            l = MARGIN_L,
+            r = MARGIN_L + plot_w,
+            b = MARGIN_T + plot_h
+        );
+        // Ticks.
+        for t in ticks(x_min, x_max, 8) {
+            let x = sx(t);
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{x:.1}" y1="{b:.1}" x2="{x:.1}" y2="{b2:.1}" stroke="black"/><text x="{x:.1}" y="{ty:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+                fmt_tick(t),
+                b = MARGIN_T + plot_h,
+                b2 = MARGIN_T + plot_h + 5.0,
+                ty = MARGIN_T + plot_h + 18.0,
+            );
+        }
+        for t in ticks(y_min, y_max, 6) {
+            let y = sy(t);
+            let _ = writeln!(
+                svg,
+                r##"<line x1="{l2:.1}" y1="{y:.1}" x2="{l:.1}" y2="{y:.1}" stroke="black"/><line x1="{l:.1}" y1="{y:.1}" x2="{r:.1}" y2="{y:.1}" stroke="#dddddd"/><text x="{tx:.1}" y="{ty:.1}" font-size="11" text-anchor="end">{}</text>"##,
+                fmt_tick(t),
+                l2 = MARGIN_L - 5.0,
+                l = MARGIN_L,
+                r = MARGIN_L + plot_w,
+                tx = MARGIN_L - 8.0,
+                ty = y + 4.0,
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.0}" y="{:.0}" font-size="12" text-anchor="middle">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="16" y="{:.0}" font-size="12" text-anchor="middle" transform="rotate(-90 16 {:.0})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = COLORS[i % COLORS.len()];
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+                .map(|&(x, y)| (sx(x), sy(y)))
+                .collect();
+            if pts.is_empty() {
+                continue;
+            }
+            let path: Vec<String> = pts.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                path.join(" ")
+            );
+            for &(x, y) in &pts {
+                let _ = writeln!(
+                    svg,
+                    r#"<circle cx="{x:.1}" cy="{y:.1}" r="3" fill="{color}"/>"#
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 8.0 + i as f64 * 16.0;
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{lx:.1}" y1="{ly:.1}" x2="{lx2:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/><text x="{tx:.1}" y="{ty:.1}" font-size="11">{}</text>"#,
+                xml_escape(&s.label),
+                lx = MARGIN_L + 10.0,
+                lx2 = MARGIN_L + 34.0,
+                tx = MARGIN_L + 40.0,
+                ty = ly + 4.0,
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn extent(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if min == max {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+/// "Nice number" ticks covering `[min, max]` with roughly `n` steps.
+fn ticks(min: f64, max: f64, n: usize) -> Vec<f64> {
+    let span = (max - min).max(1e-12);
+    let raw = span / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.0 {
+        2.0
+    } else if norm < 7.0 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let start = (min / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= max + step * 1e-9 {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+fn fmt_tick(t: f64) -> String {
+    if t.abs() >= 1000.0 || t == t.trunc() {
+        format!("{t:.0}")
+    } else {
+        format!("{t:.2}")
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_all_series_and_labels() {
+        let mut c = LineChart::new("Total hops", "k", "hops");
+        c.series("GMP", vec![(3.0, 8.8), (12.0, 23.5), (25.0, 38.8)]);
+        c.series("PBM", vec![(3.0, 9.9), (12.0, 29.2), (25.0, 50.3)]);
+        let svg = c.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">GMP</text>"));
+        assert!(svg.contains(">PBM</text>"));
+        assert!(svg.contains(">Total hops</text>"));
+        // 6 data markers.
+        assert!(svg.matches(r#"r="3""#).count() == 6);
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let c = LineChart::new("Nothing", "x", "y");
+        let svg = c.render_svg();
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let mut c = LineChart::new("t", "x", "y");
+        c.series("a", vec![(1.0, f64::NAN), (2.0, 3.0), (3.0, 4.0)]);
+        let svg = c.render_svg();
+        assert!(!svg.contains("NaN"));
+        assert_eq!(svg.matches(r#"r="3""#).count(), 2);
+    }
+
+    #[test]
+    fn ticks_are_nice_and_cover_the_range() {
+        let t = ticks(0.0, 100.0, 6);
+        assert_eq!(t, vec![0.0, 20.0, 40.0, 60.0, 80.0, 100.0]);
+        let t = ticks(3.0, 25.0, 8);
+        assert!(t.first().copied().unwrap() >= 3.0);
+        assert!(t.last().copied().unwrap() <= 25.0);
+        assert!(t.len() >= 4);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut c = LineChart::new("a < b & c", "x", "y");
+        c.series("s<1>", vec![(0.0, 1.0)]);
+        let svg = c.render_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+    }
+}

@@ -1,0 +1,170 @@
+//! A uniform factory over every protocol in the evaluation.
+
+use gmp_baselines::{DsmRouter, GrdRouter, LgkRouter, LgsRouter, PbmRouter, SmtRouter};
+use gmp_core::GmpRouter;
+use gmp_net::Topology;
+use gmp_sim::{MulticastTask, Protocol, SimConfig, TaskReport, TaskRunner};
+
+/// The λ values the paper sweeps for PBM ("we have run the same routing
+/// task seven times, with the value of λ varying from 0 to 0.6").
+pub const PBM_LAMBDAS: [f64; 7] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+
+/// Which protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProtocolKind {
+    /// GMP, the paper's contribution.
+    Gmp,
+    /// GMP without radio-range awareness (the paper's GMPnr ablation).
+    GmpNr,
+    /// PBM with a fixed λ.
+    Pbm(f64),
+    /// PBM as reported in the paper's figures: each task is run once per
+    /// λ ∈ {0, 0.1, …, 0.6} and the run with the fewest total hops wins.
+    PbmBest,
+    /// Location-guided Steiner (LGT's LGS).
+    Lgs,
+    /// Location-guided k-ary tree (LGT's LGK) — extension.
+    Lgk(usize),
+    /// Independent greedy unicast per destination.
+    Grd,
+    /// Dynamic Source Multicast (frozen source-side MST) — extension.
+    Dsm,
+    /// Centralized KMB Steiner tree with source routing.
+    Smt,
+}
+
+impl ProtocolKind {
+    /// The display label used in tables and CSV headers.
+    pub fn label(&self) -> String {
+        match self {
+            ProtocolKind::Gmp => "GMP".into(),
+            ProtocolKind::GmpNr => "GMPnr".into(),
+            ProtocolKind::Pbm(l) => format!("PBM(λ={l})"),
+            ProtocolKind::PbmBest => "PBM".into(),
+            ProtocolKind::Lgs => "LGS".into(),
+            ProtocolKind::Lgk(k) => format!("LGK(k={k})"),
+            ProtocolKind::Grd => "GRD".into(),
+            ProtocolKind::Dsm => "DSM".into(),
+            ProtocolKind::Smt => "SMT".into(),
+        }
+    }
+
+    /// Instantiates a fresh router (protocols are cheap to build; SMT
+    /// computes its tree lazily per task).
+    pub fn build(&self) -> Box<dyn Protocol> {
+        match *self {
+            ProtocolKind::Gmp => Box::new(GmpRouter::new()),
+            ProtocolKind::GmpNr => Box::new(GmpRouter::without_radio_range_awareness()),
+            ProtocolKind::Pbm(l) => Box::new(PbmRouter::with_lambda(l)),
+            // PbmBest is resolved in `run_task`; building it alone yields
+            // the default λ.
+            ProtocolKind::PbmBest => Box::new(PbmRouter::new()),
+            ProtocolKind::Lgs => Box::new(LgsRouter::new()),
+            ProtocolKind::Lgk(k) => Box::new(LgkRouter::new(k)),
+            ProtocolKind::Grd => Box::new(GrdRouter::new()),
+            ProtocolKind::Dsm => Box::new(DsmRouter::new()),
+            ProtocolKind::Smt => Box::new(SmtRouter::new()),
+        }
+    }
+
+    /// Runs one task, resolving [`ProtocolKind::PbmBest`]'s per-task λ
+    /// sweep exactly as the paper does (keep the run with the fewest
+    /// total hops).
+    pub fn run_task(
+        &self,
+        topo: &Topology,
+        config: &SimConfig,
+        task: &MulticastTask,
+    ) -> TaskReport {
+        let runner = TaskRunner::new(topo, config);
+        match self {
+            ProtocolKind::PbmBest => PBM_LAMBDAS
+                .iter()
+                .map(|&l| {
+                    let mut p = PbmRouter::with_lambda(l);
+                    runner.run(&mut p, task)
+                })
+                .min_by(|a, b| {
+                    // Prefer full delivery, then fewest transmissions.
+                    (a.failed_dests.len(), a.transmissions)
+                        .cmp(&(b.failed_dests.len(), b.transmissions))
+                })
+                .expect("lambda sweep non-empty"),
+            _ => {
+                let mut p = self.build();
+                runner.run(p.as_mut(), task)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct_and_nonempty() {
+        let kinds = [
+            ProtocolKind::Gmp,
+            ProtocolKind::GmpNr,
+            ProtocolKind::Pbm(0.2),
+            ProtocolKind::PbmBest,
+            ProtocolKind::Lgs,
+            ProtocolKind::Lgk(2),
+            ProtocolKind::Grd,
+            ProtocolKind::Dsm,
+            ProtocolKind::Smt,
+        ];
+        let labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
+        for l in &labels {
+            assert!(!l.is_empty());
+        }
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn every_kind_builds_and_runs() {
+        let config = SimConfig::paper()
+            .with_node_count(300)
+            .with_area_side(700.0);
+        let topo = Topology::random(&config.topology_config(), 2);
+        let task = MulticastTask::random(&topo, 5, 3);
+        for kind in [
+            ProtocolKind::Gmp,
+            ProtocolKind::GmpNr,
+            ProtocolKind::Pbm(0.3),
+            ProtocolKind::Lgs,
+            ProtocolKind::Lgk(2),
+            ProtocolKind::Grd,
+            ProtocolKind::Dsm,
+            ProtocolKind::Smt,
+        ] {
+            let report = kind.run_task(&topo, &config, &task);
+            assert!(
+                report.delivered_all(),
+                "{} failed {:?}",
+                kind.label(),
+                report.failed_dests
+            );
+        }
+    }
+
+    #[test]
+    fn pbm_best_never_worse_than_any_single_lambda() {
+        let config = SimConfig::paper()
+            .with_node_count(300)
+            .with_area_side(700.0);
+        let topo = Topology::random(&config.topology_config(), 4);
+        let task = MulticastTask::random(&topo, 8, 5);
+        let best = ProtocolKind::PbmBest.run_task(&topo, &config, &task);
+        for &l in &PBM_LAMBDAS {
+            let single = ProtocolKind::Pbm(l).run_task(&topo, &config, &task);
+            if single.delivered_all() {
+                assert!(best.transmissions <= single.transmissions);
+            }
+        }
+    }
+}

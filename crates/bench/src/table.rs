@@ -1,0 +1,119 @@
+//! Plain-text table rendering and CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Renders rows as an aligned plain-text table. The first row is the
+/// header.
+///
+/// # Example
+///
+/// ```
+/// let table = gmp_bench::render_table(&[
+///     vec!["k".into(), "GMP".into()],
+///     vec!["3".into(), "12.5".into()],
+/// ]);
+/// assert!(table.contains("GMP"));
+/// ```
+pub fn render_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    let mut widths = vec![0usize; cols];
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+            if i + 1 < row.len() {
+                out.push_str("  ");
+            }
+        }
+        out.push('\n');
+        if ri == 0 {
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes rows as CSV (comma-separated, fields quoted only when needed).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating parent directories or
+/// writing the file.
+pub fn write_csv(path: &Path, rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains(',') || cell.contains('"') {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(&[
+            vec!["proto".into(), "hops".into()],
+            vec!["GMP".into(), "10".into()],
+            vec!["PBM".into(), "13.25".into()],
+        ]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[1].starts_with('-'));
+        // Columns align: "hops" and "10" start at the same offset.
+        let off_header = lines[0].find("hops").unwrap();
+        let off_row = lines[2].find("10").unwrap();
+        assert_eq!(off_header, off_row);
+    }
+
+    #[test]
+    fn empty_table_is_empty() {
+        assert_eq!(render_table(&[]), "");
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let dir = std::env::temp_dir().join("gmp_bench_test_csv");
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &[
+                vec!["a".into(), "b,c".into()],
+                vec!["d\"e".into(), "f".into()],
+            ],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,\"b,c\"\n\"d\"\"e\",f\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,133 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+
+/// An axis-aligned rectangle, used for deployment areas and spatial index
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Corner with the smallest coordinates.
+    pub min: Point,
+    /// Corner with the largest coordinates.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point, b: Point) -> Self {
+        Aabb {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// A square box `[0, side] × [0, side]` — the paper's deployment field
+    /// is `Aabb::square(1000.0)`.
+    pub fn square(side: f64) -> Self {
+        Aabb::new(Point::ORIGIN, Point::new(side, side))
+    }
+
+    /// Box width.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Box height.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Box area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// The center of the box.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The smallest box containing both `self` and `p`.
+    pub fn expanded_to(&self, p: Point) -> Aabb {
+        Aabb {
+            min: Point::new(self.min.x.min(p.x), self.min.y.min(p.y)),
+            max: Point::new(self.max.x.max(p.x), self.max.y.max(p.y)),
+        }
+    }
+
+    /// The smallest box containing a non-empty set of points, or `None` for
+    /// an empty input.
+    pub fn from_points<I>(points: I) -> Option<Aabb>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = Aabb::new(first, first);
+        for p in it {
+            b = b.expanded_to(p);
+        }
+        Some(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_normalizes_corners() {
+        let b = Aabb::new(Point::new(5.0, 1.0), Point::new(1.0, 5.0));
+        assert_eq!(b.min, Point::new(1.0, 1.0));
+        assert_eq!(b.max, Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn square_dimensions() {
+        let b = Aabb::square(1000.0);
+        assert_eq!(b.width(), 1000.0);
+        assert_eq!(b.height(), 1000.0);
+        assert_eq!(b.area(), 1_000_000.0);
+        assert_eq!(b.center(), Point::new(500.0, 500.0));
+    }
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let b = Aabb::square(10.0);
+        assert!(b.contains(Point::new(0.0, 0.0)));
+        assert!(b.contains(Point::new(10.0, 10.0)));
+        assert!(b.contains(Point::new(5.0, 5.0)));
+        assert!(!b.contains(Point::new(-0.1, 5.0)));
+        assert!(!b.contains(Point::new(5.0, 10.1)));
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 7.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
+        let b = Aabb::from_points(pts).unwrap();
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Point::new(-2.0, -1.0));
+        assert_eq!(b.max, Point::new(4.0, 7.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert_eq!(Aabb::from_points(std::iter::empty()), None);
+    }
+}

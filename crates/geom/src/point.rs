@@ -1,0 +1,441 @@
+//! Points and vectors in the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use crate::EPS;
+
+/// A location in the 2-D plane, in meters.
+///
+/// In the paper's network model (Section 2) a node's location acts as both
+/// its identifier and its network address, so `Point` is ubiquitous across
+/// the workspace.
+///
+/// # Example
+///
+/// ```
+/// use gmp_geom::Point;
+/// let a = Point::new(0.0, 0.0);
+/// let b = Point::new(3.0, 4.0);
+/// assert_eq!(a.dist(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+/// A displacement between two [`Point`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(self, other: Point) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[inline]
+    pub fn dist_sq(self, other: Point) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Returns `true` if `other` lies within [`EPS`] of `self`.
+    #[inline]
+    pub fn almost_eq(self, other: Point) -> bool {
+        self.dist_sq(other) <= EPS * EPS
+    }
+
+    /// The midpoint of the segment from `self` to `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        self + (other - self) * t
+    }
+
+    /// The centroid (arithmetic mean) of a set of points.
+    ///
+    /// GMP's perimeter mode routes toward the *average* location of the void
+    /// destinations (Section 4.1, step 2), which is exactly this function.
+    ///
+    /// Returns `None` for an empty input.
+    pub fn centroid<I>(points: I) -> Option<Point>
+    where
+        I: IntoIterator<Item = Point>,
+    {
+        let mut sum = Vec2::default();
+        let mut n = 0usize;
+        for p in points {
+            sum.x += p.x;
+            sum.y += p.y;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(Point::new(sum.x / n as f64, sum.y / n as f64))
+        }
+    }
+
+    /// Rotates `self` around `center` by `angle` radians (counterclockwise).
+    pub fn rotate_around(self, center: Point, angle: f64) -> Point {
+        let (sin, cos) = angle.sin_cos();
+        let v = self - center;
+        center + Vec2::new(v.x * cos - v.y * sin, v.x * sin + v.y * cos)
+    }
+
+    /// Returns `true` if all coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the 3-D cross product (signed parallelogram area).
+    ///
+    /// Positive when `other` is counterclockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The unit vector in the same direction, or `None` for a (near-)zero
+    /// vector.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n <= EPS {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// The angle of this vector measured counterclockwise from the positive
+    /// x-axis, in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The unsigned angle between two vectors, in `[0, π]`.
+    ///
+    /// Returns `0.0` if either vector is (near-)zero.
+    pub fn angle_between(self, other: Vec2) -> f64 {
+        let d = self.norm() * other.norm();
+        if d <= EPS * EPS {
+            return 0.0;
+        }
+        let c = (self.dot(other) / d).clamp(-1.0, 1.0);
+        c.acos()
+    }
+
+    /// The vector rotated 90° counterclockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+}
+
+/// The counterclockwise angular sweep from direction `from` to direction
+/// `to`, in `[0, 2π)`.
+///
+/// This is the primitive behind the right-hand rule in perimeter routing:
+/// the next edge is the one with the smallest *clockwise* sweep from the
+/// reference direction, i.e. the largest counterclockwise sweep.
+pub fn ccw_sweep(from: Vec2, to: Vec2) -> f64 {
+    let a = to.angle() - from.angle();
+    let two_pi = std::f64::consts::TAU;
+    let mut a = a % two_pi;
+    if a < 0.0 {
+        a += two_pi;
+    }
+    a
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub<Vec2> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn distance_is_symmetric_and_positive() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(-3.0, 5.0);
+        assert_eq!(a.dist(b), b.dist(a));
+        assert!(a.dist(b) > 0.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn dist_sq_matches_dist() {
+        let a = Point::new(2.0, 7.0);
+        let b = Point::new(9.0, -1.0);
+        assert!((a.dist(b).powi(2) - a.dist_sq(b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.midpoint(b), a.lerp(b, 0.5));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let c = Point::centroid(pts).unwrap();
+        assert!(c.almost_eq(Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn centroid_of_empty_is_none() {
+        assert_eq!(Point::centroid(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn rotate_quarter_turn() {
+        let p = Point::new(1.0, 0.0);
+        let r = p.rotate_around(Point::ORIGIN, FRAC_PI_2);
+        assert!(r.almost_eq(Point::new(0.0, 1.0)));
+    }
+
+    #[test]
+    fn rotation_preserves_distance_to_center() {
+        let c = Point::new(3.0, -2.0);
+        let p = Point::new(10.0, 5.0);
+        for k in 0..8 {
+            let r = p.rotate_around(c, k as f64 * PI / 4.0);
+            assert!((r.dist(c) - p.dist(c)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_sign_encodes_orientation() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert!(e1.cross(e2) > 0.0);
+        assert!(e2.cross(e1) < 0.0);
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn angle_between_is_unsigned() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert!((e1.angle_between(e2) - FRAC_PI_2).abs() < 1e-12);
+        assert!((e2.angle_between(e1) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_zero_vector_is_zero() {
+        assert_eq!(Vec2::default().angle_between(Vec2::new(1.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn ccw_sweep_quadrants() {
+        let e1 = Vec2::new(1.0, 0.0);
+        assert!((ccw_sweep(e1, Vec2::new(0.0, 1.0)) - FRAC_PI_2).abs() < 1e-12);
+        assert!((ccw_sweep(e1, Vec2::new(-1.0, 0.0)) - PI).abs() < 1e-12);
+        assert!((ccw_sweep(e1, Vec2::new(0.0, -1.0)) - 3.0 * FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(ccw_sweep(e1, e1), 0.0);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert_eq!(Vec2::default().normalized(), None);
+        let n = Vec2::new(3.0, 4.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perp_is_ccw_quarter_turn() {
+        let v = Vec2::new(2.0, 1.0);
+        let p = v.perp();
+        assert!((v.dot(p)).abs() < 1e-12);
+        assert!(v.cross(p) > 0.0);
+    }
+
+    #[test]
+    fn point_vector_arithmetic_roundtrip() {
+        let a = Point::new(1.5, -2.5);
+        let v = Vec2::new(0.5, 4.0);
+        assert_eq!((a + v) - v, a);
+        let mut b = a;
+        b += v;
+        b -= v;
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let p = Point::from((1.0, 2.0));
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (1.0, 2.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Point::new(1.0, 2.0)).is_empty());
+        assert!(!format!("{}", Vec2::new(1.0, 2.0)).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Orientation and incidence predicates.
+
+use crate::{Point, EPS};
+
+/// The orientation of an ordered point triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// The triple makes a left (counterclockwise) turn.
+    CounterClockwise,
+    /// The triple makes a right (clockwise) turn.
+    Clockwise,
+    /// The three points are collinear (within tolerance).
+    Collinear,
+}
+
+/// Classifies the turn made at `b` when walking `a → b → c`.
+///
+/// Uses a tolerance scaled by the magnitude of the coordinates so that the
+/// classification is stable for both millimeter- and kilometer-scale inputs.
+pub fn orientation(a: Point, b: Point, c: Point) -> Orientation {
+    let v = (b - a).cross(c - a);
+    // Scale tolerance with the squared extent of the triangle to keep the
+    // predicate meaningful across coordinate magnitudes.
+    let scale = (b - a).norm() * (c - a).norm();
+    let tol = EPS * scale.max(1.0);
+    if v > tol {
+        Orientation::CounterClockwise
+    } else if v < -tol {
+        Orientation::Clockwise
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// Returns `true` if the triple `a, b, c` is collinear within tolerance.
+#[inline]
+pub fn collinear(a: Point, b: Point, c: Point) -> bool {
+    orientation(a, b, c) == Orientation::Collinear
+}
+
+/// The interior angle at vertex `apex` of the triangle `(apex, a, b)`,
+/// in `[0, π]` radians.
+///
+/// Returns `0.0` when `a` or `b` coincides with `apex`.
+pub fn angle_at(apex: Point, a: Point, b: Point) -> f64 {
+    (a - apex).angle_between(b - apex)
+}
+
+/// Returns `true` if point `p` lies strictly inside the disk with diameter
+/// `a`–`b` (the Gabriel-graph emptiness test).
+///
+/// The Gabriel graph keeps edge `(a, b)` iff no other node lies inside this
+/// disk; see `gmp-net`'s planarization module.
+pub fn in_diametral_disk(p: Point, a: Point, b: Point) -> bool {
+    let center = a.midpoint(b);
+    let r_sq = a.dist_sq(b) / 4.0;
+    p.dist_sq(center) < r_sq - EPS
+}
+
+/// Returns `true` if point `p` lies strictly inside the lune of `a`–`b`
+/// (the Relative Neighborhood Graph emptiness test): the intersection of the
+/// two disks of radius `|ab|` centered at `a` and at `b`.
+pub fn in_lune(p: Point, a: Point, b: Point) -> bool {
+    let d_sq = a.dist_sq(b);
+    p.dist_sq(a) < d_sq - EPS && p.dist_sq(b) < d_sq - EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_basic() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(1.0, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orientation(a, b, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 1.0);
+        let c = Point::new(1.0, 2.0);
+        assert_eq!(orientation(a, b, c), Orientation::CounterClockwise);
+        assert_eq!(orientation(a, c, b), Orientation::Clockwise);
+    }
+
+    #[test]
+    fn collinear_scales_with_magnitude() {
+        // Nearly collinear at kilometer scale.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(500.0, 500.0);
+        let c = Point::new(1000.0, 1000.0 + 1e-9);
+        assert!(collinear(a, b, c));
+    }
+
+    #[test]
+    fn angle_at_right_triangle() {
+        let apex = Point::new(0.0, 0.0);
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        assert!((angle_at(apex, a, b) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_at_degenerate_is_zero() {
+        let apex = Point::new(1.0, 1.0);
+        assert_eq!(angle_at(apex, apex, Point::new(2.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn diametral_disk_membership() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        assert!(in_diametral_disk(Point::new(1.0, 0.5), a, b));
+        assert!(!in_diametral_disk(Point::new(1.0, 1.5), a, b));
+        // On the boundary (distance exactly r): not strictly inside.
+        assert!(!in_diametral_disk(Point::new(1.0, 1.0), a, b));
+        // Endpoints are on the boundary, not inside.
+        assert!(!in_diametral_disk(a, a, b));
+    }
+
+    #[test]
+    fn lune_membership() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        // Midpoint is deep inside the lune.
+        assert!(in_lune(Point::new(1.0, 0.0), a, b));
+        // A point close to `a` but far from `b` is outside.
+        assert!(!in_lune(Point::new(-0.5, 0.0), a, b));
+        // The lune is contained in the diametral disk test's complement
+        // direction: everything in the lune is within |ab| of both ends.
+        assert!(in_lune(Point::new(1.0, 0.9), a, b));
+        assert!(!in_lune(Point::new(1.0, 1.9), a, b));
+    }
+
+    #[test]
+    fn lune_contains_diametral_disk() {
+        // Classic fact: the diametral disk is a subset of the lune, hence
+        // RNG ⊆ Gabriel graph. Spot check a grid of points.
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        for i in -20..=40 {
+            for j in -20..=20 {
+                let p = Point::new(i as f64 * 0.1, j as f64 * 0.1);
+                if in_diametral_disk(p, a, b) {
+                    assert!(in_lune(p, a, b), "point {p} in disk but not lune");
+                }
+            }
+        }
+    }
+}

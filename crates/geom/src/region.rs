@@ -1,0 +1,232 @@
+//! Geographic regions for geocasting.
+//!
+//! Geocasting \[15, 2, 28\] addresses packets to a *region* rather than a
+//! destination list. This module provides the region geometry: circles,
+//! rectangles, and convex polygons, with containment tests and reference
+//! points for routing.
+
+use crate::aabb::Aabb;
+use crate::point::Point;
+use crate::predicates::{orientation, Orientation};
+
+/// A geocast target region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Region {
+    /// A disk.
+    Circle {
+        /// Center of the disk.
+        center: Point,
+        /// Radius in meters.
+        radius: f64,
+    },
+    /// An axis-aligned rectangle.
+    Rect(Aabb),
+    /// A convex polygon; vertices must be in counterclockwise order.
+    ConvexPolygon(Vec<Point>),
+}
+
+impl Region {
+    /// Creates a convex polygon region from counterclockwise vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 vertices are given or they are not in
+    /// counterclockwise convex position.
+    pub fn convex_polygon(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        let n = vertices.len();
+        for i in 0..n {
+            let (a, b, c) = (vertices[i], vertices[(i + 1) % n], vertices[(i + 2) % n]);
+            assert_ne!(
+                orientation(a, b, c),
+                Orientation::Clockwise,
+                "vertices must be convex and counterclockwise"
+            );
+        }
+        Region::ConvexPolygon(vertices)
+    }
+
+    /// Returns `true` if `p` lies inside the region (boundary included).
+    pub fn contains(&self, p: Point) -> bool {
+        match self {
+            Region::Circle { center, radius } => p.dist_sq(*center) <= radius * radius,
+            Region::Rect(r) => r.contains(p),
+            Region::ConvexPolygon(vs) => {
+                let n = vs.len();
+                (0..n).all(|i| orientation(vs[i], vs[(i + 1) % n], p) != Orientation::Clockwise)
+            }
+        }
+    }
+
+    /// A representative interior point, used as the routing target when
+    /// approaching the region from outside.
+    pub fn anchor(&self) -> Point {
+        match self {
+            Region::Circle { center, .. } => *center,
+            Region::Rect(r) => r.center(),
+            Region::ConvexPolygon(vs) => {
+                Point::centroid(vs.iter().copied()).expect("non-empty polygon")
+            }
+        }
+    }
+
+    /// The smallest axis-aligned box containing the region.
+    pub fn bounding_box(&self) -> Aabb {
+        match self {
+            Region::Circle { center, radius } => Aabb::new(
+                Point::new(center.x - radius, center.y - radius),
+                Point::new(center.x + radius, center.y + radius),
+            ),
+            Region::Rect(r) => *r,
+            Region::ConvexPolygon(vs) => {
+                Aabb::from_points(vs.iter().copied()).expect("non-empty polygon")
+            }
+        }
+    }
+}
+
+/// The convex hull of a point set (Andrew's monotone chain), returned in
+/// counterclockwise order — the natural way to build a
+/// [`Region::ConvexPolygon`] covering a set of sensors.
+///
+/// Returns fewer than 3 points for degenerate inputs (collinear or tiny
+/// sets).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    pts.dedup_by(|a, b| a.almost_eq(*b));
+    if pts.len() < 3 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(pts.len() * 2);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orientation(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_containment() {
+        let r = Region::Circle {
+            center: Point::new(10.0, 10.0),
+            radius: 5.0,
+        };
+        assert!(r.contains(Point::new(12.0, 12.0)));
+        assert!(r.contains(Point::new(15.0, 10.0))); // boundary
+        assert!(!r.contains(Point::new(16.0, 10.0)));
+        assert_eq!(r.anchor(), Point::new(10.0, 10.0));
+        assert_eq!(
+            r.bounding_box(),
+            Aabb::new(Point::new(5.0, 5.0), Point::new(15.0, 15.0))
+        );
+    }
+
+    #[test]
+    fn rect_containment() {
+        let r = Region::Rect(Aabb::square(10.0));
+        assert!(r.contains(Point::new(5.0, 5.0)));
+        assert!(!r.contains(Point::new(11.0, 5.0)));
+        assert_eq!(r.anchor(), Point::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn polygon_containment() {
+        let tri = Region::convex_polygon(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(5.0, 10.0),
+        ]);
+        assert!(tri.contains(Point::new(5.0, 3.0)));
+        assert!(tri.contains(Point::new(0.0, 0.0))); // vertex
+        assert!(tri.contains(Point::new(5.0, 0.0))); // edge
+        assert!(!tri.contains(Point::new(9.0, 8.0)));
+        assert!(tri.bounding_box().contains(Point::new(5.0, 10.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "counterclockwise")]
+    fn clockwise_polygon_rejected() {
+        Region::convex_polygon(vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 10.0),
+            Point::new(10.0, 0.0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_polygon_rejected() {
+        Region::convex_polygon(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+            Point::new(5.0, 5.0),
+            Point::new(3.0, 7.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        // Counterclockwise and convex: valid polygon region.
+        let region = Region::convex_polygon(hull);
+        for p in &pts {
+            assert!(region.contains(*p));
+        }
+    }
+
+    #[test]
+    fn hull_of_collinear_points_degenerates() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, i as f64)).collect();
+        let hull = convex_hull(&pts);
+        assert!(
+            hull.len() <= 2,
+            "collinear hull should degenerate: {hull:?}"
+        );
+    }
+
+    #[test]
+    fn hull_is_invariant_to_input_order() {
+        let mut pts = vec![
+            Point::new(2.0, 3.0),
+            Point::new(9.0, 1.0),
+            Point::new(5.0, 9.0),
+            Point::new(1.0, 1.0),
+            Point::new(7.0, 6.0),
+        ];
+        let h1 = convex_hull(&pts);
+        pts.reverse();
+        let h2 = convex_hull(&pts);
+        assert_eq!(h1.len(), h2.len());
+        // Same vertex set.
+        for p in &h1 {
+            assert!(h2.iter().any(|q| q.almost_eq(*p)));
+        }
+    }
+}

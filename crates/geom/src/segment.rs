@@ -1,0 +1,196 @@
+//! Line segments and intersection tests.
+
+use crate::predicates::{orientation, Orientation};
+use crate::{Point, EPS};
+
+/// A closed line segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two endpoints.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// The segment's length.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// The segment's midpoint.
+    #[inline]
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(self.b)
+    }
+
+    /// Returns `true` if `p` lies on this segment (within tolerance).
+    pub fn contains(&self, p: Point) -> bool {
+        if orientation(self.a, self.b, p) != Orientation::Collinear {
+            return false;
+        }
+        let d = self.a.dist(p) + p.dist(self.b) - self.length();
+        d.abs() <= EPS * self.length().max(1.0)
+    }
+
+    /// Returns `true` if the two closed segments intersect, including
+    /// touching at endpoints and collinear overlap.
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let (p1, q1, p2, q2) = (self.a, self.b, other.a, other.b);
+        let o1 = orientation(p1, q1, p2);
+        let o2 = orientation(p1, q1, q2);
+        let o3 = orientation(p2, q2, p1);
+        let o4 = orientation(p2, q2, q1);
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear {
+            return true;
+        }
+        (o1 == Orientation::Collinear && self.contains(p2))
+            || (o2 == Orientation::Collinear && self.contains(q2))
+            || (o3 == Orientation::Collinear && other.contains(p1))
+            || (o4 == Orientation::Collinear && other.contains(q1))
+    }
+
+    /// Returns `true` if the two segments *properly* cross: they intersect
+    /// in exactly one point that is interior to both.
+    ///
+    /// This is the test used to certify planarity of Gabriel/RNG graphs —
+    /// edges that merely share an endpoint do not count as crossing.
+    pub fn properly_crosses(&self, other: &Segment) -> bool {
+        let (p1, q1, p2, q2) = (self.a, self.b, other.a, other.b);
+        let o1 = orientation(p1, q1, p2);
+        let o2 = orientation(p1, q1, q2);
+        let o3 = orientation(p2, q2, p1);
+        let o4 = orientation(p2, q2, q1);
+        o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
+    }
+
+    /// The intersection point of the two *lines* supporting the segments,
+    /// or `None` when they are parallel (within tolerance).
+    pub fn line_intersection(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        let scale = r.norm() * s.norm();
+        if denom.abs() <= EPS * scale.max(1.0) {
+            return None;
+        }
+        let t = (other.a - self.a).cross(s) / denom;
+        Some(self.a + r * t)
+    }
+
+    /// Returns `true` if the two segments cross the line through `c`–`d`
+    /// strictly between this segment's endpoints — used by face routing to
+    /// detect when a perimeter edge crosses the source–destination line.
+    pub fn crosses_line_of(&self, c: Point, d: Point) -> bool {
+        let oc = orientation(c, d, self.a);
+        let od = orientation(c, d, self.b);
+        oc != od && oc != Orientation::Collinear && od != Orientation::Collinear
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn contains_endpoint_and_midpoint() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(s.contains(Point::new(1.0, 1.0)));
+        assert!(s.contains(s.a));
+        assert!(s.contains(s.b));
+        assert!(!s.contains(Point::new(3.0, 3.0)));
+        assert!(!s.contains(Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = seg(0.0, 0.0, 2.0, 2.0);
+        let s2 = seg(0.0, 2.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(s1.properly_crosses(&s2));
+    }
+
+    #[test]
+    fn touching_at_endpoint_is_not_proper() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(1.0, 1.0, 2.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.properly_crosses(&s2));
+    }
+
+    #[test]
+    fn disjoint_segments_do_not_intersect() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!s1.intersects(&s2));
+        assert!(!s1.properly_crosses(&s2));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects_but_not_properly() {
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.properly_crosses(&s2));
+    }
+
+    #[test]
+    fn t_junction_intersects_but_not_properly() {
+        // s2 ends on the interior of s1.
+        let s1 = seg(0.0, 0.0, 2.0, 0.0);
+        let s2 = seg(1.0, 1.0, 1.0, 0.0);
+        assert!(s1.intersects(&s2));
+        assert!(!s1.properly_crosses(&s2));
+    }
+
+    #[test]
+    fn line_intersection_basic() {
+        let s1 = seg(0.0, 0.0, 1.0, 1.0);
+        let s2 = seg(0.0, 1.0, 1.0, 0.0);
+        let p = s1.line_intersection(&s2).unwrap();
+        assert!(p.almost_eq(Point::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn line_intersection_beyond_segments() {
+        // Lines intersect outside the segments; still returned.
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(3.0, 1.0, 3.0, 2.0);
+        let p = s1.line_intersection(&s2).unwrap();
+        assert!(p.almost_eq(Point::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn parallel_lines_have_no_intersection() {
+        let s1 = seg(0.0, 0.0, 1.0, 0.0);
+        let s2 = seg(0.0, 1.0, 1.0, 1.0);
+        assert_eq!(s1.line_intersection(&s2), None);
+    }
+
+    #[test]
+    fn crosses_line_of_detects_strict_crossing() {
+        let s = seg(0.0, -1.0, 0.0, 1.0);
+        assert!(s.crosses_line_of(Point::new(-1.0, 0.0), Point::new(1.0, 0.0)));
+        let above = seg(0.0, 0.5, 0.0, 1.5);
+        assert!(!above.crosses_line_of(Point::new(-1.0, 0.0), Point::new(1.0, 0.0)));
+        // Endpoint on the line: not a strict crossing.
+        let touch = seg(0.0, 0.0, 0.0, 1.0);
+        assert!(!touch.crosses_line_of(Point::new(-1.0, 0.0), Point::new(1.0, 0.0)));
+    }
+}

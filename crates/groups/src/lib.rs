@@ -1,0 +1,29 @@
+//! Source-maintained multicast group membership (extension substrate).
+//!
+//! The paper's network model (Section 2) assumes "the source node
+//! (generally a prime node) knows the destinations prior to the
+//! dissemination of the data packet" and explicitly defers group
+//! establishment to source-maintained schemes \[25, 5\] or a separate group
+//! management service \[20\]. This crate implements the source-maintained
+//! variant so dynamic-membership workloads can be simulated end to end:
+//!
+//! * members send JOIN/LEAVE control messages that travel to the prime
+//!   node by GPSR unicast over the real topology (control hops and energy
+//!   are accounted with the same model as data packets);
+//! * the prime node keeps one membership table per group, with
+//!   per-member sequence numbers so stale or reordered updates are
+//!   rejected;
+//! * a seeded churn generator ([`MembershipTrace`]) produces reproducible
+//!   join/leave workloads, and [`GroupManager::task_for`] snapshots the
+//!   current membership into a [`MulticastTask`](gmp_sim::MulticastTask) ready for any router in
+//!   the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod manager;
+pub mod trace;
+
+pub use manager::{ControlCost, GroupId, GroupManager, MembershipAction, MembershipUpdate};
+pub use trace::MembershipTrace;

@@ -1,0 +1,326 @@
+//! The prime node's membership tables and control-plane accounting.
+
+use std::collections::BTreeMap;
+
+use gmp_net::face::{gpsr_route, RouteOutcome};
+use gmp_net::{NodeId, PlanarKind, Topology};
+use gmp_sim::{EnergyModel, MulticastTask, SimConfig};
+
+/// Identifier of a multicast group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u32);
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Whether a member is joining or leaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipAction {
+    /// The node wants multicast packets for the group.
+    Join,
+    /// The node no longer wants them.
+    Leave,
+}
+
+/// One membership control message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipUpdate {
+    /// The group concerned.
+    pub group: GroupId,
+    /// The member (and control-message source).
+    pub node: NodeId,
+    /// Join or leave.
+    pub action: MembershipAction,
+    /// Per-member sequence number; the manager rejects non-increasing
+    /// sequence numbers, so duplicated or reordered control messages are
+    /// harmless.
+    pub seq: u64,
+}
+
+/// Cost of delivering control messages to the prime node.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ControlCost {
+    /// Control transmissions (GPSR unicast hops).
+    pub transmissions: usize,
+    /// Control-plane energy in joules (same model as data packets).
+    pub energy_j: f64,
+    /// Updates whose control message could not reach the prime node.
+    pub undeliverable: usize,
+}
+
+#[derive(Debug, Default, Clone)]
+struct MemberRecord {
+    present: bool,
+    last_seq: u64,
+}
+
+/// The membership service hosted at the prime node.
+#[derive(Debug)]
+pub struct GroupManager<'a> {
+    topo: &'a Topology,
+    config: &'a SimConfig,
+    prime: NodeId,
+    groups: BTreeMap<GroupId, BTreeMap<NodeId, MemberRecord>>,
+    cost: ControlCost,
+}
+
+impl<'a> GroupManager<'a> {
+    /// Creates a manager hosted at `prime`.
+    pub fn new(topo: &'a Topology, config: &'a SimConfig, prime: NodeId) -> Self {
+        GroupManager {
+            topo,
+            config,
+            prime,
+            groups: BTreeMap::new(),
+            cost: ControlCost::default(),
+        }
+    }
+
+    /// The prime node hosting the tables.
+    pub fn prime(&self) -> NodeId {
+        self.prime
+    }
+
+    /// Accumulated control-plane cost.
+    pub fn control_cost(&self) -> ControlCost {
+        self.cost
+    }
+
+    /// Processes one membership update, routing its control message from
+    /// the member to the prime node over the real topology.
+    ///
+    /// Returns `true` if the update was accepted (delivered and fresh).
+    pub fn apply(&mut self, update: MembershipUpdate) -> bool {
+        // Route the control message (updates originating at the prime node
+        // itself are free).
+        if update.node != self.prime {
+            let outcome = gpsr_route(
+                self.topo,
+                PlanarKind::Gabriel,
+                update.node,
+                self.prime,
+                self.config.max_path_hops as usize,
+            );
+            match outcome {
+                RouteOutcome::Delivered(path) => {
+                    let energy = EnergyModel::from_config(self.config);
+                    for pair in path.windows(2) {
+                        let listeners = self.topo.neighbors(pair[0]).len();
+                        let link_m = self.topo.pos(pair[0]).dist(self.topo.pos(pair[1]));
+                        self.cost.transmissions += 1;
+                        self.cost.energy_j += energy.transmission_energy(
+                            self.config.message_bytes,
+                            listeners,
+                            link_m,
+                        );
+                    }
+                }
+                _ => {
+                    self.cost.undeliverable += 1;
+                    return false;
+                }
+            }
+        }
+        let record = self
+            .groups
+            .entry(update.group)
+            .or_default()
+            .entry(update.node)
+            .or_default();
+        if update.seq <= record.last_seq && record.last_seq != 0 {
+            return false; // stale or duplicate
+        }
+        record.last_seq = update.seq;
+        record.present = matches!(update.action, MembershipAction::Join);
+        true
+    }
+
+    /// Current members of `group`, sorted (empty for unknown groups).
+    pub fn members(&self, group: GroupId) -> Vec<NodeId> {
+        self.groups
+            .get(&group)
+            .map(|m| {
+                m.iter()
+                    .filter(|(_, r)| r.present)
+                    .map(|(&n, _)| n)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Snapshots the membership of `group` into a multicast task rooted at
+    /// the prime node, or `None` when the group has no members besides
+    /// the prime itself.
+    pub fn task_for(&self, group: GroupId) -> Option<MulticastTask> {
+        let dests: Vec<NodeId> = self
+            .members(group)
+            .into_iter()
+            .filter(|&m| m != self.prime)
+            .collect();
+        if dests.is_empty() {
+            None
+        } else {
+            Some(MulticastTask::new(self.prime, dests))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Topology, SimConfig) {
+        let config = SimConfig::paper()
+            .with_node_count(300)
+            .with_area_side(700.0);
+        let topo = Topology::random(&config.topology_config(), 31);
+        (topo, config)
+    }
+
+    #[test]
+    fn joins_and_leaves_update_membership() {
+        let (topo, config) = setup();
+        let mut mgr = GroupManager::new(&topo, &config, NodeId(0));
+        let g = GroupId(1);
+        assert!(mgr.apply(MembershipUpdate {
+            group: g,
+            node: NodeId(5),
+            action: MembershipAction::Join,
+            seq: 1
+        }));
+        assert!(mgr.apply(MembershipUpdate {
+            group: g,
+            node: NodeId(9),
+            action: MembershipAction::Join,
+            seq: 1
+        }));
+        assert_eq!(mgr.members(g), vec![NodeId(5), NodeId(9)]);
+        assert!(mgr.apply(MembershipUpdate {
+            group: g,
+            node: NodeId(5),
+            action: MembershipAction::Leave,
+            seq: 2
+        }));
+        assert_eq!(mgr.members(g), vec![NodeId(9)]);
+    }
+
+    #[test]
+    fn stale_and_duplicate_updates_are_rejected() {
+        let (topo, config) = setup();
+        let mut mgr = GroupManager::new(&topo, &config, NodeId(0));
+        let g = GroupId(1);
+        let join = MembershipUpdate {
+            group: g,
+            node: NodeId(7),
+            action: MembershipAction::Join,
+            seq: 5,
+        };
+        assert!(mgr.apply(join));
+        // Duplicate (same seq) rejected.
+        assert!(!mgr.apply(join));
+        // Stale leave (lower seq) rejected: node stays a member.
+        assert!(!mgr.apply(MembershipUpdate {
+            group: g,
+            node: NodeId(7),
+            action: MembershipAction::Leave,
+            seq: 3
+        }));
+        assert_eq!(mgr.members(g), vec![NodeId(7)]);
+    }
+
+    #[test]
+    fn control_messages_cost_real_hops_and_energy() {
+        let (topo, config) = setup();
+        let mut mgr = GroupManager::new(&topo, &config, NodeId(0));
+        mgr.apply(MembershipUpdate {
+            group: GroupId(1),
+            node: NodeId(200),
+            action: MembershipAction::Join,
+            seq: 1,
+        });
+        let cost = mgr.control_cost();
+        assert!(cost.transmissions >= 1);
+        assert!(cost.energy_j > 0.0);
+        assert_eq!(cost.undeliverable, 0);
+    }
+
+    #[test]
+    fn prime_node_updates_are_free() {
+        let (topo, config) = setup();
+        let mut mgr = GroupManager::new(&topo, &config, NodeId(0));
+        mgr.apply(MembershipUpdate {
+            group: GroupId(1),
+            node: NodeId(0),
+            action: MembershipAction::Join,
+            seq: 1,
+        });
+        assert_eq!(mgr.control_cost().transmissions, 0);
+    }
+
+    #[test]
+    fn unreachable_member_is_counted_undeliverable() {
+        let config = SimConfig::paper().with_node_count(3);
+        let positions = vec![
+            gmp_geom::Point::new(0.0, 0.0),
+            gmp_geom::Point::new(100.0, 0.0),
+            gmp_geom::Point::new(5000.0, 5000.0), // island
+        ];
+        let topo = Topology::from_positions(positions, gmp_geom::Aabb::square(6000.0), 150.0);
+        let mut mgr = GroupManager::new(&topo, &config, NodeId(0));
+        assert!(!mgr.apply(MembershipUpdate {
+            group: GroupId(1),
+            node: NodeId(2),
+            action: MembershipAction::Join,
+            seq: 1
+        }));
+        assert_eq!(mgr.control_cost().undeliverable, 1);
+        assert!(mgr.members(GroupId(1)).is_empty());
+    }
+
+    #[test]
+    fn task_snapshot_excludes_the_prime_and_empty_groups() {
+        let (topo, config) = setup();
+        let mut mgr = GroupManager::new(&topo, &config, NodeId(0));
+        let g = GroupId(2);
+        assert_eq!(mgr.task_for(g), None);
+        mgr.apply(MembershipUpdate {
+            group: g,
+            node: NodeId(0),
+            action: MembershipAction::Join,
+            seq: 1,
+        });
+        assert_eq!(mgr.task_for(g), None, "prime-only group has no task");
+        mgr.apply(MembershipUpdate {
+            group: g,
+            node: NodeId(42),
+            action: MembershipAction::Join,
+            seq: 1,
+        });
+        let task = mgr.task_for(g).expect("one member");
+        assert_eq!(task.source, NodeId(0));
+        assert_eq!(task.dests, vec![NodeId(42)]);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let (topo, config) = setup();
+        let mut mgr = GroupManager::new(&topo, &config, NodeId(0));
+        mgr.apply(MembershipUpdate {
+            group: GroupId(1),
+            node: NodeId(5),
+            action: MembershipAction::Join,
+            seq: 1,
+        });
+        mgr.apply(MembershipUpdate {
+            group: GroupId(2),
+            node: NodeId(6),
+            action: MembershipAction::Join,
+            seq: 1,
+        });
+        assert_eq!(mgr.members(GroupId(1)), vec![NodeId(5)]);
+        assert_eq!(mgr.members(GroupId(2)), vec![NodeId(6)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Seeded churn generation for dynamic-membership workloads.
+
+use gmp_net::{NodeId, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::manager::{GroupId, MembershipAction, MembershipUpdate};
+
+/// A reproducible sequence of membership updates for one group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MembershipTrace {
+    /// The group the trace drives.
+    pub group: GroupId,
+    /// Updates in application order (sequence numbers already assigned,
+    /// strictly increasing per member).
+    pub updates: Vec<MembershipUpdate>,
+}
+
+impl MembershipTrace {
+    /// Generates a churn trace: `initial` random members join, then
+    /// `churn_events` random join/leave flips on nodes drawn from the
+    /// topology (never the prime node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has fewer than `initial + 1` nodes.
+    pub fn random(
+        topo: &Topology,
+        group: GroupId,
+        prime: NodeId,
+        initial: usize,
+        churn_events: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(topo.len() > initial, "need more nodes than initial members");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut candidates: Vec<NodeId> = (0..topo.len() as u32)
+            .map(NodeId)
+            .filter(|&n| n != prime)
+            .collect();
+        candidates.shuffle(&mut rng);
+        let mut present: Vec<bool> = vec![false; topo.len()];
+        let mut seqs: Vec<u64> = vec![0; topo.len()];
+        let mut updates = Vec::with_capacity(initial + churn_events);
+        for &m in candidates.iter().take(initial) {
+            seqs[m.index()] += 1;
+            present[m.index()] = true;
+            updates.push(MembershipUpdate {
+                group,
+                node: m,
+                action: MembershipAction::Join,
+                seq: seqs[m.index()],
+            });
+        }
+        for _ in 0..churn_events {
+            let node = candidates[rng.gen_range(0..candidates.len())];
+            seqs[node.index()] += 1;
+            let action = if present[node.index()] {
+                present[node.index()] = false;
+                MembershipAction::Leave
+            } else {
+                present[node.index()] = true;
+                MembershipAction::Join
+            };
+            updates.push(MembershipUpdate {
+                group,
+                node,
+                action,
+                seq: seqs[node.index()],
+            });
+        }
+        MembershipTrace { group, updates }
+    }
+
+    /// The member set after applying the whole trace (ground truth for
+    /// testing the manager).
+    pub fn final_members(&self) -> Vec<NodeId> {
+        let mut state: std::collections::BTreeMap<NodeId, bool> = Default::default();
+        for u in &self.updates {
+            state.insert(u.node, matches!(u.action, MembershipAction::Join));
+        }
+        state
+            .into_iter()
+            .filter(|(_, present)| *present)
+            .map(|(n, _)| n)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::GroupManager;
+
+    use gmp_sim::SimConfig;
+
+    fn setup() -> (Topology, SimConfig) {
+        let config = SimConfig::paper()
+            .with_node_count(250)
+            .with_area_side(700.0);
+        let topo = Topology::random(&config.topology_config(), 8);
+        (topo, config)
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let (topo, _) = setup();
+        let a = MembershipTrace::random(&topo, GroupId(1), NodeId(0), 10, 30, 7);
+        let b = MembershipTrace::random(&topo, GroupId(1), NodeId(0), 10, 30, 7);
+        let c = MembershipTrace::random(&topo, GroupId(1), NodeId(0), 10, 30, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sequence_numbers_strictly_increase_per_member() {
+        let (topo, _) = setup();
+        let trace = MembershipTrace::random(&topo, GroupId(1), NodeId(0), 15, 60, 3);
+        let mut last: std::collections::HashMap<NodeId, u64> = Default::default();
+        for u in &trace.updates {
+            let prev = last.insert(u.node, u.seq).unwrap_or(0);
+            assert!(u.seq > prev, "seq must increase for {}", u.node);
+        }
+    }
+
+    #[test]
+    fn manager_replay_matches_trace_ground_truth() {
+        let (topo, config) = setup();
+        assert!(topo.is_connected(), "pick a connected seed for this test");
+        let prime = NodeId(0);
+        let trace = MembershipTrace::random(&topo, GroupId(3), prime, 12, 50, 11);
+        let mut mgr = GroupManager::new(&topo, &config, prime);
+        for &u in &trace.updates {
+            assert!(
+                mgr.apply(u),
+                "every fresh update on a connected graph lands"
+            );
+        }
+        assert_eq!(mgr.members(GroupId(3)), trace.final_members());
+        assert!(mgr.control_cost().transmissions > 0);
+        assert_eq!(mgr.control_cost().undeliverable, 0);
+    }
+
+    #[test]
+    fn trace_never_includes_the_prime() {
+        let (topo, _) = setup();
+        let trace = MembershipTrace::random(&topo, GroupId(1), NodeId(5), 20, 40, 2);
+        assert!(trace.updates.iter().all(|u| u.node != NodeId(5)));
+    }
+}

@@ -1,0 +1,185 @@
+//! Shortest-path utilities over the unit-disk graph.
+//!
+//! These are *global* algorithms: only the centralized SMT baseline (which
+//! the paper includes "for comparison purpose only") and offline analysis
+//! are allowed to use them. Distributed protocols must stick to
+//! [`Topology::neighbors`](crate::Topology::neighbors).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::node::NodeId;
+use crate::topology::Topology;
+
+/// Result of a single-source shortest-path run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Distance from the source to each node (`f64::INFINITY` when
+    /// unreachable). For hop metrics this is an integral count.
+    pub dist: Vec<f64>,
+    /// Predecessor of each node on a shortest path (`None` for the source
+    /// and unreachable nodes).
+    pub prev: Vec<Option<NodeId>>,
+    source: NodeId,
+}
+
+impl ShortestPaths {
+    /// The source node of this run.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Reconstructs the path from the source to `target` (inclusive of both
+    /// endpoints), or `None` if `target` is unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist[target.index()].is_infinite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = self.prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], self.source);
+        Some(path)
+    }
+
+    /// Hop count to `target`, or `None` if unreachable.
+    pub fn hops_to(&self, target: NodeId) -> Option<usize> {
+        self.path_to(target).map(|p| p.len() - 1)
+    }
+}
+
+/// Edge weight model for shortest paths over the unit-disk graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EdgeWeight {
+    /// Every edge costs 1 — minimizes transmissions, which is the paper's
+    /// figure of merit (total hops / energy).
+    #[default]
+    Hop,
+    /// Edges cost their Euclidean length.
+    Euclidean,
+}
+
+/// Dijkstra from `source` over the unit-disk graph of `topo`.
+///
+/// With [`EdgeWeight::Hop`] this degenerates to BFS but the single
+/// implementation keeps the two metrics consistent.
+pub fn shortest_paths(topo: &Topology, source: NodeId, weight: EdgeWeight) -> ShortestPaths {
+    let n = topo.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    // f64 keys ordered through their IEEE bit pattern (all values are
+    // non-negative and finite, where the mapping is monotonic).
+    let key = |d: f64| d.to_bits();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((key(0.0), source.0)));
+    while let Some(Reverse((kd, u))) = heap.pop() {
+        let u = NodeId(u);
+        let du = dist[u.index()];
+        if key(du) != kd {
+            continue; // stale entry
+        }
+        for &v in topo.neighbors(u) {
+            let w = match weight {
+                EdgeWeight::Hop => 1.0,
+                EdgeWeight::Euclidean => topo.pos(u).dist(topo.pos(v)),
+            };
+            let alt = du + w;
+            if alt < dist[v.index()] {
+                dist[v.index()] = alt;
+                prev[v.index()] = Some(u);
+                heap.push(Reverse((key(alt), v.0)));
+            }
+        }
+    }
+    ShortestPaths { dist, prev, source }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use gmp_geom::{Aabb, Point};
+
+    fn line_topo() -> Topology {
+        // 5 nodes in a line, each only hearing its immediate neighbors.
+        let positions = (0..5).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        Topology::from_positions(positions, Aabb::square(100.0), 12.0)
+    }
+
+    #[test]
+    fn hop_distances_on_a_line() {
+        let topo = line_topo();
+        let sp = shortest_paths(&topo, NodeId(0), EdgeWeight::Hop);
+        assert_eq!(sp.source(), NodeId(0));
+        for i in 0..5 {
+            assert_eq!(sp.dist[i], i as f64);
+            assert_eq!(sp.hops_to(NodeId(i as u32)), Some(i));
+        }
+        assert_eq!(
+            sp.path_to(NodeId(4)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
+    }
+
+    #[test]
+    fn euclidean_distances_on_a_line() {
+        let topo = line_topo();
+        let sp = shortest_paths(&topo, NodeId(0), EdgeWeight::Euclidean);
+        assert!((sp.dist[4] - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_nodes_report_none() {
+        let topo = Topology::from_positions(
+            vec![Point::new(0.0, 0.0), Point::new(500.0, 0.0)],
+            Aabb::square(600.0),
+            10.0,
+        );
+        let sp = shortest_paths(&topo, NodeId(0), EdgeWeight::Hop);
+        assert!(sp.dist[1].is_infinite());
+        assert_eq!(sp.path_to(NodeId(1)), None);
+        assert_eq!(sp.hops_to(NodeId(1)), None);
+    }
+
+    #[test]
+    fn dijkstra_matches_bfs_on_random_graph() {
+        let topo = Topology::random(&TopologyConfig::new(400.0, 100, 100.0), 17);
+        let sp = shortest_paths(&topo, NodeId(0), EdgeWeight::Hop);
+        // Independent BFS.
+        let mut dist = vec![usize::MAX; topo.len()];
+        dist[0] = 0;
+        let mut q = std::collections::VecDeque::from([NodeId(0)]);
+        while let Some(u) = q.pop_front() {
+            for &v in topo.neighbors(u) {
+                if dist[v.index()] == usize::MAX {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        for (i, &d) in dist.iter().enumerate() {
+            if d == usize::MAX {
+                assert!(sp.dist[i].is_infinite());
+            } else {
+                assert_eq!(sp.dist[i] as usize, d);
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_shortest_path_never_shorter_than_straight_line() {
+        let topo = Topology::random(&TopologyConfig::new(400.0, 120, 100.0), 19);
+        let sp = shortest_paths(&topo, NodeId(0), EdgeWeight::Euclidean);
+        for i in 1..topo.len() {
+            if sp.dist[i].is_finite() {
+                let straight = topo.pos(NodeId(0)).dist(topo.pos(NodeId(i as u32)));
+                assert!(sp.dist[i] >= straight - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Uniform-grid spatial index over node positions.
+//!
+//! Neighbor queries ("all nodes within radio range of a point") dominate
+//! topology construction, so the index buckets nodes into square cells of
+//! side equal to the query radius; a range query inspects at most the 3 × 3
+//! block of cells around the query point.
+
+use gmp_geom::{Aabb, Point};
+
+use crate::node::NodeId;
+
+/// A uniform grid bucketing node positions for radius queries.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    origin: Point,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<NodeId>>,
+}
+
+impl GridIndex {
+    /// Builds an index over `positions` covering `bounds`, tuned for radius
+    /// queries of `radius` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not strictly positive.
+    pub fn build(bounds: Aabb, radius: f64, positions: &[Point]) -> Self {
+        assert!(radius > 0.0, "query radius must be positive");
+        let cell = radius;
+        let cols = (bounds.width() / cell).ceil().max(1.0) as usize + 1;
+        let rows = (bounds.height() / cell).ceil().max(1.0) as usize + 1;
+        let mut idx = GridIndex {
+            origin: bounds.min,
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+        };
+        for (i, &p) in positions.iter().enumerate() {
+            let b = idx.bucket_of(p);
+            idx.buckets[b].push(NodeId(i as u32));
+        }
+        idx
+    }
+
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x - self.origin.x) / self.cell).floor();
+        let cy = ((p.y - self.origin.y) / self.cell).floor();
+        let cx = cx.clamp(0.0, (self.cols - 1) as f64) as usize;
+        let cy = cy.clamp(0.0, (self.rows - 1) as f64) as usize;
+        (cx, cy)
+    }
+
+    fn bucket_of(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy * self.cols + cx
+    }
+
+    /// Returns the ids of all nodes whose position (looked up in
+    /// `positions`) is within `radius` of `center`, **excluding** any node
+    /// whose id equals `exclude`.
+    ///
+    /// `radius` must not exceed the radius the index was built with, or the
+    /// query may miss nodes; this is debug-asserted.
+    pub fn within(
+        &self,
+        positions: &[Point],
+        center: Point,
+        radius: f64,
+        exclude: Option<NodeId>,
+    ) -> Vec<NodeId> {
+        debug_assert!(
+            radius <= self.cell + gmp_geom::EPS,
+            "query radius {radius} exceeds index cell {}",
+            self.cell
+        );
+        let (cx, cy) = self.cell_coords(center);
+        let r_sq = radius * radius;
+        let mut out = Vec::new();
+        let x0 = cx.saturating_sub(1);
+        let y0 = cy.saturating_sub(1);
+        let x1 = (cx + 1).min(self.cols - 1);
+        let y1 = (cy + 1).min(self.rows - 1);
+        for gy in y0..=y1 {
+            for gx in x0..=x1 {
+                for &id in &self.buckets[gy * self.cols + gx] {
+                    if Some(id) == exclude {
+                        continue;
+                    }
+                    if positions[id.index()].dist_sq(center) <= r_sq {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_geom::Aabb;
+
+    fn brute_force(
+        positions: &[Point],
+        center: Point,
+        radius: f64,
+        exclude: Option<NodeId>,
+    ) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = positions
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| Some(NodeId(*i as u32)) != exclude && p.dist(center) <= radius + 1e-12)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_layout() {
+        let positions = vec![
+            Point::new(10.0, 10.0),
+            Point::new(20.0, 10.0),
+            Point::new(90.0, 90.0),
+            Point::new(15.0, 12.0),
+            Point::new(10.0, 25.0),
+        ];
+        let idx = GridIndex::build(Aabb::square(100.0), 15.0, &positions);
+        let mut got = idx.within(&positions, Point::new(12.0, 11.0), 15.0, None);
+        got.sort();
+        let want = brute_force(&positions, Point::new(12.0, 11.0), 15.0, None);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn matches_brute_force_randomized() {
+        // Deterministic pseudo-random layout without pulling in `rand` here.
+        let mut seed = 0x243F_6A88_85A3_08D3u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let positions: Vec<Point> = (0..500)
+            .map(|_| Point::new(next() * 1000.0, next() * 1000.0))
+            .collect();
+        let idx = GridIndex::build(Aabb::square(1000.0), 150.0, &positions);
+        for q in 0..50 {
+            let center = positions[q * 7];
+            let exclude = Some(NodeId((q * 7) as u32));
+            let mut got = idx.within(&positions, center, 150.0, exclude);
+            got.sort();
+            assert_eq!(got, brute_force(&positions, center, 150.0, exclude));
+        }
+    }
+
+    #[test]
+    fn query_points_outside_bounds_are_clamped() {
+        let positions = vec![Point::new(1.0, 1.0)];
+        let idx = GridIndex::build(Aabb::square(100.0), 10.0, &positions);
+        let got = idx.within(&positions, Point::new(-5.0, -5.0), 10.0, None);
+        assert!(got.contains(&NodeId(0)));
+    }
+
+    #[test]
+    fn exclude_removes_the_center_node() {
+        let positions = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let idx = GridIndex::build(Aabb::square(10.0), 5.0, &positions);
+        let got = idx.within(&positions, positions[0], 5.0, Some(NodeId(0)));
+        assert_eq!(got, vec![NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_radius_panics() {
+        GridIndex::build(Aabb::square(10.0), 0.0, &[]);
+    }
+}

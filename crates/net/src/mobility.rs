@@ -1,0 +1,284 @@
+//! Random-waypoint node mobility (extension).
+//!
+//! The paper evaluates static sensor networks, but its baselines (PBM,
+//! LGS) come from the MANET literature where nodes move. This module
+//! provides the standard random-waypoint model so the workspace can
+//! quantify how stale position information degrades geographic
+//! forwarding: each node repeatedly picks a uniform random waypoint,
+//! travels there at a uniform random speed, pauses, and repeats.
+//!
+//! The model is purely kinematic: call [`RandomWaypoint::advance`] to move
+//! time forward and [`RandomWaypoint::snapshot`] to materialize a
+//! [`Topology`] of the current positions.
+
+use gmp_geom::{Aabb, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::topology::Topology;
+
+/// Per-node kinematic state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MobileNode {
+    pos: Point,
+    target: Point,
+    speed: f64,
+    pause_left: f64,
+}
+
+/// The random-waypoint mobility model.
+#[derive(Debug, Clone)]
+pub struct RandomWaypoint {
+    area: Aabb,
+    radio_range: f64,
+    speed_range: (f64, f64),
+    pause_range: (f64, f64),
+    nodes: Vec<MobileNode>,
+    rng: StdRng,
+    time: f64,
+}
+
+impl RandomWaypoint {
+    /// Creates a model with `node_count` nodes placed uniformly at random.
+    ///
+    /// `speed_range` is in m/s and `pause_range` in seconds; both are
+    /// inclusive and may be degenerate (`(v, v)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range is reversed or a speed is non-positive.
+    pub fn new(
+        area: Aabb,
+        node_count: usize,
+        radio_range: f64,
+        speed_range: (f64, f64),
+        pause_range: (f64, f64),
+        seed: u64,
+    ) -> Self {
+        assert!(
+            speed_range.0 > 0.0 && speed_range.0 <= speed_range.1,
+            "bad speed range"
+        );
+        assert!(
+            pause_range.0 >= 0.0 && pause_range.0 <= pause_range.1,
+            "bad pause range"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = |rng: &mut StdRng| {
+            Point::new(
+                rng.gen_range(area.min.x..=area.max.x),
+                rng.gen_range(area.min.y..=area.max.y),
+            )
+        };
+        let nodes = (0..node_count)
+            .map(|_| {
+                let pos = sample(&mut rng);
+                let target = sample(&mut rng);
+                let speed = rng.gen_range(speed_range.0..=speed_range.1);
+                MobileNode {
+                    pos,
+                    target,
+                    speed,
+                    pause_left: 0.0,
+                }
+            })
+            .collect();
+        RandomWaypoint {
+            area,
+            radio_range,
+            speed_range,
+            pause_range,
+            nodes,
+            rng,
+            time: 0.0,
+        }
+    }
+
+    /// The current simulated time, seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Current node positions.
+    pub fn positions(&self) -> Vec<Point> {
+        self.nodes.iter().map(|n| n.pos).collect()
+    }
+
+    /// Advances the model by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be non-negative");
+        self.time += dt;
+        // Borrow the rng parts we need up front to appease the borrow
+        // checker inside the loop.
+        let speed_range = self.speed_range;
+        let pause_range = self.pause_range;
+        let area = self.area;
+        for i in 0..self.nodes.len() {
+            let mut remaining = dt;
+            while remaining > 0.0 {
+                let node = &mut self.nodes[i];
+                if node.pause_left > 0.0 {
+                    let pause = node.pause_left.min(remaining);
+                    node.pause_left -= pause;
+                    remaining -= pause;
+                    continue;
+                }
+                let to_target = node.target - node.pos;
+                let dist = to_target.norm();
+                let step = node.speed * remaining;
+                if step < dist {
+                    node.pos += to_target * (step / dist);
+                    remaining = 0.0;
+                } else {
+                    // Arrive, pause, then pick a new waypoint.
+                    node.pos = node.target;
+                    remaining -= dist / node.speed;
+                    node.pause_left = self.rng.gen_range(pause_range.0..=pause_range.1);
+                    node.target = Point::new(
+                        self.rng.gen_range(area.min.x..=area.max.x),
+                        self.rng.gen_range(area.min.y..=area.max.y),
+                    );
+                    node.speed = self.rng.gen_range(speed_range.0..=speed_range.1);
+                }
+            }
+        }
+    }
+
+    /// Materializes the current positions as an immutable [`Topology`].
+    pub fn snapshot(&self) -> Topology {
+        Topology::from_positions(self.positions(), self.area, self.radio_range)
+    }
+}
+
+/// Fraction of directed unit-disk links in `old` that no longer exist in
+/// `new` — the staleness damage metric for geographic forwarding tables.
+///
+/// # Panics
+///
+/// Panics if the two topologies have different node counts.
+pub fn broken_link_fraction(old: &Topology, new: &Topology) -> f64 {
+    assert_eq!(old.len(), new.len(), "same node set required");
+    let mut total = 0usize;
+    let mut broken = 0usize;
+    for node in old.nodes() {
+        for &n in old.neighbors(node.id) {
+            total += 1;
+            if !new.neighbors(node.id).contains(&n) {
+                broken += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        broken as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(seed: u64) -> RandomWaypoint {
+        RandomWaypoint::new(Aabb::square(500.0), 80, 100.0, (1.0, 5.0), (0.0, 2.0), seed)
+    }
+
+    #[test]
+    fn positions_stay_inside_the_area() {
+        let mut m = model(1);
+        for _ in 0..50 {
+            m.advance(3.0);
+            for p in m.positions() {
+                assert!(m.area.contains(p), "node escaped to {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn movement_respects_the_speed_bound() {
+        let mut m = model(2);
+        let before = m.positions();
+        let dt = 2.0;
+        m.advance(dt);
+        let after = m.positions();
+        for (a, b) in before.iter().zip(&after) {
+            assert!(
+                a.dist(*b) <= 5.0 * dt + 1e-9,
+                "node moved {} m in {dt} s at max speed 5 m/s",
+                a.dist(*b)
+            );
+        }
+    }
+
+    #[test]
+    fn advancing_is_deterministic_per_seed() {
+        let mut a = model(3);
+        let mut b = model(3);
+        for _ in 0..10 {
+            a.advance(1.5);
+            b.advance(1.5);
+        }
+        assert_eq!(a.positions(), b.positions());
+        let mut c = model(4);
+        c.advance(15.0);
+        assert_ne!(a.positions(), c.positions());
+    }
+
+    #[test]
+    fn zero_dt_is_a_no_op() {
+        let mut m = model(5);
+        let before = m.positions();
+        m.advance(0.0);
+        assert_eq!(m.positions(), before);
+        assert_eq!(m.time(), 0.0);
+    }
+
+    #[test]
+    fn time_accumulates() {
+        let mut m = model(6);
+        m.advance(1.0);
+        m.advance(2.5);
+        assert!((m.time() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_matches_positions() {
+        let mut m = model(7);
+        m.advance(4.0);
+        let topo = m.snapshot();
+        assert_eq!(topo.positions(), m.positions());
+        assert_eq!(topo.radio_range(), 100.0);
+    }
+
+    #[test]
+    fn broken_links_grow_with_staleness() {
+        let mut m = model(8);
+        let t0 = m.snapshot();
+        m.advance(2.0);
+        let t2 = m.snapshot();
+        m.advance(18.0);
+        let t20 = m.snapshot();
+        let b0 = broken_link_fraction(&t0, &t0);
+        let b2 = broken_link_fraction(&t0, &t2);
+        let b20 = broken_link_fraction(&t0, &t20);
+        assert_eq!(b0, 0.0);
+        assert!(b2 <= b20, "staleness 2 s ({b2}) vs 20 s ({b20})");
+        assert!(b20 > 0.0, "20 s of movement must break some links");
+    }
+
+    #[test]
+    #[should_panic(expected = "speed range")]
+    fn reversed_speed_range_panics() {
+        RandomWaypoint::new(Aabb::square(100.0), 5, 50.0, (5.0, 1.0), (0.0, 0.0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dt_panics() {
+        model(9).advance(-1.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Local planarization of the unit-disk graph.
+//!
+//! Right-hand-rule traversal (perimeter mode) is only correct on a planar
+//! graph, so GPSR-family protocols first planarize the connectivity graph
+//! using the Relative Neighborhood Graph \[29\] or the Gabriel Graph \[9\].
+//! Both can be computed by each node with purely local information: an edge
+//! `(u, v)` is kept iff no *witness* node lies in a forbidden region, and
+//! every possible witness is itself within radio range of `u` (the
+//! forbidden regions are contained in the disk of radius `d(u,v)` around
+//! `u`), so scanning `u`'s neighbor table suffices.
+//!
+//! * **Gabriel graph**: the forbidden region is the disk with diameter
+//!   `u`–`v`.
+//! * **RNG**: the forbidden region is the lune — the intersection of the
+//!   two disks of radius `d(u,v)` centered at `u` and `v`. The lune
+//!   contains the diametral disk, hence RNG ⊆ Gabriel.
+//!
+//! Both subgraphs are planar and, crucially, connectivity-preserving: if
+//! the unit-disk graph is connected, so are its Gabriel and RNG subgraphs.
+
+use gmp_geom::predicates::{in_diametral_disk, in_lune};
+
+use crate::node::NodeId;
+use crate::topology::Topology;
+
+/// Which planar subgraph to use for perimeter routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlanarKind {
+    /// Gabriel graph — denser, shorter detours; GMP's default (Section 4.1
+    /// mentions both, the experiments use Gabriel).
+    #[default]
+    Gabriel,
+    /// Relative Neighborhood Graph — sparser.
+    RelativeNeighborhood,
+}
+
+/// Computes the planarized neighbor lists for every node.
+///
+/// The result is indexable by [`NodeId::index`] and each list is sorted.
+/// This is what [`Topology::planar_neighbors`] caches.
+pub fn planarize(topo: &Topology, kind: PlanarKind) -> Vec<Vec<NodeId>> {
+    (0..topo.len())
+        .map(|i| {
+            let u = NodeId(i as u32);
+            local_planar_neighbors(topo, u, kind)
+        })
+        .collect()
+}
+
+/// Computes the planarized neighbor list of a single node using only its
+/// own neighbor table — the operation an actual sensor node would run.
+pub fn local_planar_neighbors(topo: &Topology, u: NodeId, kind: PlanarKind) -> Vec<NodeId> {
+    let pu = topo.pos(u);
+    let neigh = topo.neighbors(u);
+    let mut kept = Vec::new();
+    'edges: for &v in neigh {
+        let pv = topo.pos(v);
+        for &w in neigh {
+            if w == v {
+                continue;
+            }
+            let pw = topo.pos(w);
+            let blocked = match kind {
+                PlanarKind::Gabriel => in_diametral_disk(pw, pu, pv),
+                PlanarKind::RelativeNeighborhood => in_lune(pw, pu, pv),
+            };
+            if blocked {
+                continue 'edges;
+            }
+        }
+        kept.push(v);
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+    use gmp_geom::{Aabb, Point, Segment};
+
+    fn random_topo(seed: u64) -> Topology {
+        Topology::random(&TopologyConfig::new(500.0, 120, 120.0), seed)
+    }
+
+    fn edge_set(adj: &[Vec<NodeId>]) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for (i, list) in adj.iter().enumerate() {
+            for &j in list {
+                if i < j.index() {
+                    edges.push((i, j.index()));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn planar_graphs_are_symmetric_subgraphs_of_udg() {
+        let topo = random_topo(21);
+        for kind in [PlanarKind::Gabriel, PlanarKind::RelativeNeighborhood] {
+            let adj = planarize(&topo, kind);
+            for (i, list) in adj.iter().enumerate() {
+                let u = NodeId(i as u32);
+                for &v in list {
+                    assert!(
+                        topo.neighbors(u).contains(&v),
+                        "planar edge must be UDG edge"
+                    );
+                    assert!(adj[v.index()].contains(&u), "planar adjacency symmetric");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rng_is_subgraph_of_gabriel() {
+        let topo = random_topo(22);
+        let gg = planarize(&topo, PlanarKind::Gabriel);
+        let rng = planarize(&topo, PlanarKind::RelativeNeighborhood);
+        for (i, list) in rng.iter().enumerate() {
+            for &v in list {
+                assert!(
+                    gg[i].contains(&v),
+                    "RNG edge ({i},{v}) missing from Gabriel graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gabriel_graph_has_no_proper_crossings() {
+        let topo = random_topo(23);
+        let gg = planarize(&topo, PlanarKind::Gabriel);
+        let edges = edge_set(&gg);
+        for (a, e1) in edges.iter().enumerate() {
+            let s1 = Segment::new(topo.pos(NodeId(e1.0 as u32)), topo.pos(NodeId(e1.1 as u32)));
+            for e2 in edges.iter().skip(a + 1) {
+                if e1.0 == e2.0 || e1.0 == e2.1 || e1.1 == e2.0 || e1.1 == e2.1 {
+                    continue;
+                }
+                let s2 = Segment::new(topo.pos(NodeId(e2.0 as u32)), topo.pos(NodeId(e2.1 as u32)));
+                assert!(
+                    !s1.properly_crosses(&s2),
+                    "Gabriel edges {e1:?} and {e2:?} cross"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planarization_preserves_connectivity() {
+        for seed in [31, 32, 33] {
+            let topo = random_topo(seed);
+            if !topo.is_connected() {
+                continue;
+            }
+            for kind in [PlanarKind::Gabriel, PlanarKind::RelativeNeighborhood] {
+                let adj = planarize(&topo, kind);
+                let mut seen = vec![false; topo.len()];
+                let mut q = std::collections::VecDeque::from([0usize]);
+                seen[0] = true;
+                let mut count = 1;
+                while let Some(u) = q.pop_front() {
+                    for &v in &adj[u] {
+                        if !seen[v.index()] {
+                            seen[v.index()] = true;
+                            count += 1;
+                            q.push_back(v.index());
+                        }
+                    }
+                }
+                assert_eq!(count, topo.len(), "{kind:?} disconnected the graph");
+            }
+        }
+    }
+
+    #[test]
+    fn local_and_global_planarization_agree() {
+        let topo = random_topo(24);
+        let global = planarize(&topo, PlanarKind::Gabriel);
+        for i in (0..topo.len()).step_by(10) {
+            let local = local_planar_neighbors(&topo, NodeId(i as u32), PlanarKind::Gabriel);
+            assert_eq!(local, global[i]);
+        }
+    }
+
+    #[test]
+    fn collinear_triple_keeps_short_edges_only() {
+        // u --- w --- v all within range: the long edge u–v must be pruned
+        // (w sits at the center of its diametral disk).
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(100.0, 0.0),
+            ],
+            Aabb::square(200.0),
+            150.0,
+        );
+        let gg = planarize(&topo, PlanarKind::Gabriel);
+        assert!(!gg[0].contains(&NodeId(2)));
+        assert!(gg[0].contains(&NodeId(1)));
+        assert!(gg[2].contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn topology_caches_planar_neighbors() {
+        let topo = random_topo(25);
+        let a = topo
+            .planar_neighbors(PlanarKind::Gabriel, NodeId(0))
+            .to_vec();
+        let b = topo
+            .planar_neighbors(PlanarKind::Gabriel, NodeId(0))
+            .to_vec();
+        assert_eq!(a, b);
+    }
+}

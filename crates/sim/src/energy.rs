@@ -1,0 +1,126 @@
+//! The paper's energy model, plus the optional power-control extension.
+//!
+//! Footnote 2: "The energy consumption reported in this paper includes the
+//! transmission power of senders and the receiving power of all listening
+//! nodes within the transmission radio range of the senders." One
+//! transmission of airtime `t` with `k` listeners therefore costs
+//! `(P_tx + k · P_rx) · t` joules with the paper's fixed 1.3 W transmit
+//! power.
+//!
+//! With [`PowerControl`] enabled (extension),
+//! the transmit power scales with the link distance `d` as
+//! `P_overhead + (d / rr)^α · P_tx`, and only nodes within `d` of the
+//! sender count as listeners — the model under which short hops become
+//! genuinely cheap.
+
+use crate::config::{PowerControl, SimConfig};
+
+/// Energy accounting for one simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Transmit power at full range, watts.
+    pub tx_power_w: f64,
+    /// Receive power, watts.
+    pub rx_power_w: f64,
+    /// Channel rate, bits/second.
+    pub data_rate_bps: f64,
+    /// Radio range (normalizes distances under power control), meters.
+    pub radio_range: f64,
+    /// Optional distance-scaled transmit power.
+    pub power_control: Option<PowerControl>,
+}
+
+impl EnergyModel {
+    /// Extracts the energy parameters from a [`SimConfig`].
+    pub fn from_config(config: &SimConfig) -> Self {
+        EnergyModel {
+            tx_power_w: config.tx_power_w,
+            rx_power_w: config.rx_power_w,
+            data_rate_bps: config.data_rate_bps,
+            radio_range: config.radio_range,
+            power_control: config.power_control,
+        }
+    }
+
+    /// Airtime of a message of `bytes` bytes, seconds.
+    pub fn airtime(&self, bytes: usize) -> f64 {
+        bytes as f64 * 8.0 / self.data_rate_bps
+    }
+
+    /// Effective transmit power for a hop of `link_m` meters, watts.
+    pub fn tx_power_for(&self, link_m: f64) -> f64 {
+        match self.power_control {
+            None => self.tx_power_w,
+            Some(pc) => {
+                let norm = (link_m / self.radio_range).clamp(0.0, 1.0);
+                pc.overhead_w + norm.powf(pc.alpha) * self.tx_power_w
+            }
+        }
+    }
+
+    /// Energy of one transmission of `bytes` bytes over `link_m` meters,
+    /// heard by `listeners` nodes, joules.
+    pub fn transmission_energy(&self, bytes: usize, listeners: usize, link_m: f64) -> f64 {
+        (self.tx_power_for(link_m) + listeners as f64 * self.rx_power_w) * self.airtime(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> EnergyModel {
+        EnergyModel::from_config(&SimConfig::paper())
+    }
+
+    #[test]
+    fn paper_airtime() {
+        assert!((model().airtime(128) - 0.001024).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_includes_all_listeners() {
+        let m = model();
+        // One sender, 10 listeners, 128 B: (1.3 + 10·0.9) · 1.024 ms.
+        let expected = (1.3 + 9.0) * 0.001024;
+        assert!((m.transmission_energy(128, 10, 150.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_listeners_costs_only_tx() {
+        let m = model();
+        assert!((m.transmission_energy(128, 0, 150.0) - 1.3 * 0.001024).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_size() {
+        let m = model();
+        let e1 = m.transmission_energy(128, 5, 100.0);
+        let e2 = m.transmission_energy(256, 5, 100.0);
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_power_ignores_link_distance() {
+        let m = model();
+        assert_eq!(m.tx_power_for(10.0), m.tx_power_for(150.0));
+        assert_eq!(m.tx_power_for(10.0), 1.3);
+    }
+
+    #[test]
+    fn power_control_scales_with_distance() {
+        let config = SimConfig::paper().with_power_control(crate::config::PowerControl {
+            alpha: 2.0,
+            overhead_w: 0.1,
+        });
+        let m = EnergyModel::from_config(&config);
+        // Full-range hop: overhead + full tx power.
+        assert!((m.tx_power_for(150.0) - 1.4).abs() < 1e-12);
+        // Half-range hop: overhead + tx/4.
+        assert!((m.tx_power_for(75.0) - (0.1 + 1.3 / 4.0)).abs() < 1e-12);
+        // Short hops are much cheaper.
+        assert!(m.tx_power_for(15.0) < 0.12);
+        // Distances beyond the range clamp (radios cannot exceed it).
+        assert_eq!(m.tx_power_for(500.0), m.tx_power_for(150.0));
+    }
+}

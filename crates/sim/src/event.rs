@@ -1,0 +1,170 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by simulated time with a monotonically increasing
+//! sequence number as tiebreak, making runs bit-for-bit deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use gmp_net::NodeId;
+
+use crate::packet::MulticastPacket;
+
+/// A scheduled simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// `packet` arrives at `to`, transmitted by `from`.
+    Deliver {
+        /// Receiving node.
+        to: NodeId,
+        /// Transmitting node.
+        from: NodeId,
+        /// When the transmission started (airtime = arrival − sent_at).
+        sent_at: f64,
+        /// Link-layer retransmissions already used for this copy.
+        retries: u8,
+        /// The packet copy in flight.
+        packet: MulticastPacket,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl EventQueue {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past or not finite.
+    pub fn schedule(&mut self, time: f64, event: Event) {
+        assert!(time.is_finite(), "event time must be finite");
+        assert!(time >= self.now, "cannot schedule into the past");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        let s = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(to: u32) -> Event {
+        Event::Deliver {
+            to: NodeId(to),
+            from: NodeId(0),
+            sent_at: 0.0,
+            retries: 0,
+            packet: MulticastPacket::new(0, NodeId(0), vec![]),
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, ev(3));
+        q.schedule(1.0, ev(1));
+        q.schedule(2.0, ev(2));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, ev(10));
+        q.schedule(1.0, ev(20));
+        let (_, first) = q.pop().unwrap();
+        match first {
+            Event::Deliver { to, .. } => assert_eq!(to, NodeId(10)),
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0.0);
+        q.schedule(5.0, ev(1));
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ev(1));
+        q.pop();
+        q.schedule(1.0, ev(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ev(1));
+    }
+}

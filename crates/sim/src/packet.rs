@@ -1,0 +1,368 @@
+//! Multicast packets and their wire encoding.
+//!
+//! In geographic multicast the packet itself carries the routing state:
+//! the list of remaining destination *locations* (the location is the
+//! address — Section 2), plus per-protocol state such as GPSR perimeter
+//! bookkeeping, LGS's current subtree-root target, or the SMT baseline's
+//! embedded source-routing tree.
+//!
+//! The wire encoding exists so the header-overhead ablation can charge
+//! airtime by real packet size instead of the paper's fixed 128 B.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gmp_geom::Point;
+use gmp_net::{NodeId, PerimeterState};
+
+/// Per-protocol routing state carried inside a packet.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RoutingState {
+    /// Plain multicast forwarding; the receiving node re-derives
+    /// everything from the destination list (GMP, PBM greedy phase).
+    #[default]
+    Greedy,
+    /// GPSR-style perimeter mode (the paper's PERIMODE flag plus the
+    /// associated face-routing state).
+    Perimeter(PerimeterState),
+    /// A unicast leg toward a subtree root: intermediate nodes forward
+    /// greedily to `target` without re-partitioning (LGS/LGK legs, GRD).
+    UnicastLeg {
+        /// The subtree root (or single destination) this leg is aiming at.
+        target: NodeId,
+    },
+    /// A full source-routed tree: `children[v]` lists where node `v` must
+    /// forward copies (the centralized SMT baseline).
+    SourceTree(Arc<HashMap<NodeId, Vec<NodeId>>>),
+}
+
+/// A multicast data packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticastPacket {
+    /// Task-unique sequence number.
+    pub seq: u64,
+    /// The node that originated the multicast.
+    pub origin: NodeId,
+    /// Remaining destinations this copy is responsible for.
+    pub dests: Vec<NodeId>,
+    /// Transmissions this copy has undergone so far.
+    pub hops: u32,
+    /// Protocol-specific routing state.
+    pub state: RoutingState,
+}
+
+impl MulticastPacket {
+    /// Creates a fresh packet at the origin.
+    pub fn new(seq: u64, origin: NodeId, dests: Vec<NodeId>) -> Self {
+        MulticastPacket {
+            seq,
+            origin,
+            dests,
+            hops: 0,
+            state: RoutingState::Greedy,
+        }
+    }
+
+    /// Returns a copy carrying a subset of the destinations and the given
+    /// state — the "copy of the packet per group" operation of GMP/LGS.
+    pub fn split(&self, dests: Vec<NodeId>, state: RoutingState) -> Self {
+        MulticastPacket {
+            seq: self.seq,
+            origin: self.origin,
+            dests,
+            hops: self.hops,
+            state,
+        }
+    }
+
+    /// `true` if the packet is in perimeter mode (the PERIMODE flag).
+    pub fn in_perimeter_mode(&self) -> bool {
+        matches!(self.state, RoutingState::Perimeter(_))
+    }
+
+    /// Serializes the packet, including each destination's location
+    /// (16 bytes) since locations are addresses.
+    pub fn encode(&self, positions: &[Point]) -> Bytes {
+        let mut b = BytesMut::with_capacity(64 + 20 * self.dests.len());
+        b.put_u8(b'G');
+        b.put_u8(1); // version
+        b.put_u64(self.seq);
+        b.put_u32(self.origin.0);
+        b.put_u32(self.hops);
+        match &self.state {
+            RoutingState::Greedy => b.put_u8(0),
+            RoutingState::Perimeter(p) => {
+                b.put_u8(1);
+                put_point(&mut b, p.dest);
+                put_point(&mut b, p.entry);
+                put_point(&mut b, p.face_entry);
+                match p.first_edge {
+                    Some((a, c)) => {
+                        b.put_u8(1);
+                        b.put_u32(a.0);
+                        b.put_u32(c.0);
+                    }
+                    None => b.put_u8(0),
+                }
+                match p.prev {
+                    Some(n) => {
+                        b.put_u8(1);
+                        b.put_u32(n.0);
+                    }
+                    None => b.put_u8(0),
+                }
+            }
+            RoutingState::UnicastLeg { target } => {
+                b.put_u8(2);
+                b.put_u32(target.0);
+            }
+            RoutingState::SourceTree(tree) => {
+                b.put_u8(3);
+                let mut keys: Vec<_> = tree.keys().copied().collect();
+                keys.sort();
+                b.put_u16(keys.len() as u16);
+                for k in keys {
+                    b.put_u32(k.0);
+                    let children = &tree[&k];
+                    b.put_u8(children.len() as u8);
+                    for c in children {
+                        b.put_u32(c.0);
+                    }
+                }
+            }
+        }
+        b.put_u16(self.dests.len() as u16);
+        for d in &self.dests {
+            b.put_u32(d.0);
+            put_point(&mut b, positions[d.index()]);
+        }
+        b.freeze()
+    }
+
+    /// The encoded size in bytes — what the size-dependent airtime
+    /// ablation charges for.
+    pub fn encoded_len(&self, positions: &[Point]) -> usize {
+        self.encode(positions).len()
+    }
+
+    /// Deserializes a packet previously produced by [`encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error string on malformed input.
+    ///
+    /// [`encode`]: MulticastPacket::encode
+    pub fn decode(mut buf: Bytes) -> Result<Self, String> {
+        let need = |buf: &Bytes, n: usize| -> Result<(), String> {
+            if buf.remaining() < n {
+                Err(format!("truncated packet: need {n} more bytes"))
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 18)?;
+        if buf.get_u8() != b'G' {
+            return Err("bad magic".into());
+        }
+        if buf.get_u8() != 1 {
+            return Err("unsupported version".into());
+        }
+        let seq = buf.get_u64();
+        let origin = NodeId(buf.get_u32());
+        let hops = buf.get_u32();
+        need(&buf, 1)?;
+        let state = match buf.get_u8() {
+            0 => RoutingState::Greedy,
+            1 => {
+                need(&buf, 48 + 2)?;
+                let dest = get_point(&mut buf);
+                let entry = get_point(&mut buf);
+                let face_entry = get_point(&mut buf);
+                let first_edge = if buf.get_u8() == 1 {
+                    need(&buf, 8)?;
+                    Some((NodeId(buf.get_u32()), NodeId(buf.get_u32())))
+                } else {
+                    None
+                };
+                need(&buf, 1)?;
+                let prev = if buf.get_u8() == 1 {
+                    need(&buf, 4)?;
+                    Some(NodeId(buf.get_u32()))
+                } else {
+                    None
+                };
+                RoutingState::Perimeter(PerimeterState {
+                    dest,
+                    entry,
+                    face_entry,
+                    first_edge,
+                    prev,
+                })
+            }
+            2 => {
+                need(&buf, 4)?;
+                RoutingState::UnicastLeg {
+                    target: NodeId(buf.get_u32()),
+                }
+            }
+            3 => {
+                need(&buf, 2)?;
+                let n = buf.get_u16() as usize;
+                let mut tree = HashMap::with_capacity(n);
+                for _ in 0..n {
+                    need(&buf, 5)?;
+                    let k = NodeId(buf.get_u32());
+                    let c = buf.get_u8() as usize;
+                    need(&buf, 4 * c)?;
+                    let children = (0..c).map(|_| NodeId(buf.get_u32())).collect();
+                    tree.insert(k, children);
+                }
+                RoutingState::SourceTree(Arc::new(tree))
+            }
+            t => return Err(format!("unknown state tag {t}")),
+        };
+        need(&buf, 2)?;
+        let n = buf.get_u16() as usize;
+        let mut dests = Vec::with_capacity(n);
+        for _ in 0..n {
+            need(&buf, 20)?;
+            dests.push(NodeId(buf.get_u32()));
+            let _pos = get_point(&mut buf); // locations re-derived from topology
+        }
+        Ok(MulticastPacket {
+            seq,
+            origin,
+            dests,
+            hops,
+            state,
+        })
+    }
+}
+
+fn put_point(b: &mut BytesMut, p: Point) {
+    b.put_f64(p.x);
+    b.put_f64(p.y);
+}
+
+fn get_point(b: &mut Bytes) -> Point {
+    let x = b.get_f64();
+    let y = b.get_f64();
+    Point::new(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions() -> Vec<Point> {
+        (0..10)
+            .map(|i| Point::new(i as f64 * 10.0, i as f64 * 5.0))
+            .collect()
+    }
+
+    #[test]
+    fn greedy_packet_round_trips() {
+        let p = MulticastPacket::new(7, NodeId(2), vec![NodeId(3), NodeId(9)]);
+        let enc = p.encode(&positions());
+        let dec = MulticastPacket::decode(enc).unwrap();
+        assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn perimeter_packet_round_trips() {
+        let mut p = MulticastPacket::new(1, NodeId(0), vec![NodeId(5)]);
+        p.hops = 12;
+        p.state = RoutingState::Perimeter(PerimeterState {
+            dest: Point::new(1.0, 2.0),
+            entry: Point::new(3.0, 4.0),
+            face_entry: Point::new(5.0, 6.0),
+            first_edge: Some((NodeId(1), NodeId(2))),
+            prev: Some(NodeId(1)),
+        });
+        let dec = MulticastPacket::decode(p.encode(&positions())).unwrap();
+        assert_eq!(dec, p);
+        assert!(dec.in_perimeter_mode());
+    }
+
+    #[test]
+    fn unicast_leg_round_trips() {
+        let mut p = MulticastPacket::new(3, NodeId(1), vec![NodeId(4), NodeId(6)]);
+        p.state = RoutingState::UnicastLeg { target: NodeId(4) };
+        let dec = MulticastPacket::decode(p.encode(&positions())).unwrap();
+        assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn source_tree_round_trips() {
+        let mut tree = HashMap::new();
+        tree.insert(NodeId(0), vec![NodeId(1), NodeId(2)]);
+        tree.insert(NodeId(1), vec![NodeId(3)]);
+        tree.insert(NodeId(2), vec![]);
+        tree.insert(NodeId(3), vec![]);
+        let mut p = MulticastPacket::new(9, NodeId(0), vec![NodeId(3)]);
+        p.state = RoutingState::SourceTree(Arc::new(tree));
+        let dec = MulticastPacket::decode(p.encode(&positions())).unwrap();
+        assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn split_preserves_identity_and_hops() {
+        let mut p = MulticastPacket::new(5, NodeId(0), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        p.hops = 4;
+        let child = p.split(vec![NodeId(2)], RoutingState::Greedy);
+        assert_eq!(child.seq, 5);
+        assert_eq!(child.origin, NodeId(0));
+        assert_eq!(child.hops, 4);
+        assert_eq!(child.dests, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn encoded_len_grows_with_destinations() {
+        let pos = positions();
+        let p1 = MulticastPacket::new(1, NodeId(0), vec![NodeId(1)]);
+        let p3 = MulticastPacket::new(1, NodeId(0), vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(p3.encoded_len(&pos) > p1.encoded_len(&pos));
+        // 20 bytes per destination entry.
+        assert_eq!(p3.encoded_len(&pos) - p1.encoded_len(&pos), 40);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MulticastPacket::decode(Bytes::from_static(b"xx")).is_err());
+        assert!(MulticastPacket::decode(Bytes::from_static(b"")).is_err());
+        let mut junk = BytesMut::new();
+        junk.put_u8(b'Q');
+        junk.put_slice(&[0u8; 30]);
+        assert!(MulticastPacket::decode(junk.freeze()).is_err());
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutated_packets() {
+        // Bit-flip fuzzing: corrupt every byte of a valid encoding in turn
+        // and make sure decode returns (Ok or Err) instead of panicking.
+        let mut p = MulticastPacket::new(7, NodeId(2), vec![NodeId(3), NodeId(9)]);
+        p.state = RoutingState::UnicastLeg { target: NodeId(3) };
+        let enc = p.encode(&positions());
+        for i in 0..enc.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bytes = enc.to_vec();
+                bytes[i] ^= flip;
+                let _ = MulticastPacket::decode(Bytes::from(bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let p = MulticastPacket::new(7, NodeId(2), vec![NodeId(3), NodeId(9)]);
+        let enc = p.encode(&positions());
+        for cut in [3, 10, 19, enc.len() - 1] {
+            let truncated = enc.slice(0..cut);
+            assert!(
+                MulticastPacket::decode(truncated).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Steiner-tree algorithms for the GMP reproduction.
+//!
+//! The heart of the paper is **rrSTR** (Section 3): a polynomial-time
+//! heuristic for Euclidean Steiner trees driven by the *reduction ratio*
+//! measure, which identifies destination pairs likely to share sub-paths.
+//! This crate implements:
+//!
+//! * [`ratio`] — the reduction ratio `RR(s, u, v)` and its cached
+//!   3-point Steiner evaluation;
+//! * [`rrstr`](mod@rrstr) — the rrSTR heuristic itself, in radio-range-aware (GMP)
+//!   and unaware (GMPnr) variants, producing a rooted [`tree::SteinerTree`]
+//!   whose interior vertices may be *virtual* (pure Euclidean points);
+//! * [`mst`] — Euclidean minimum spanning trees (Prim), the partitioning
+//!   engine of the LGS baseline \[5\];
+//! * [`kmb`] — the Kou–Markowsky–Berman graph Steiner heuristic \[16\] used
+//!   by the centralized SMT baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use gmp_geom::Point;
+//! use gmp_steiner::rrstr::{rrstr, RadioRange};
+//!
+//! let s = Point::new(0.0, 0.0);
+//! let dests = vec![Point::new(300.0, 40.0), Point::new(300.0, -40.0)];
+//! let tree = rrstr(s, &dests, RadioRange::Aware(150.0));
+//! // Both destinations are covered by the tree.
+//! assert_eq!(tree.terminal_count(), 2);
+//! // Far-apart, close-together destinations share a virtual junction, so
+//! // the Steiner tree is shorter than the two direct spokes.
+//! assert!(tree.total_length() < 2.0 * 300.0 + 80.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod kmb;
+pub mod mst;
+pub mod ratio;
+pub mod reference;
+pub mod rrstr;
+pub mod tree;
+
+pub use ratio::{reduction_ratio, PairEval};
+pub use rrstr::{rrstr, RadioRange};
+pub use tree::{SteinerTree, VertexKind};

@@ -1,0 +1,186 @@
+//! Euclidean minimum spanning trees over point sets (Prim's algorithm).
+//!
+//! LGS \[5\] partitions destinations with an MST over `{current node} ∪
+//! destinations`; the paper's Figure 13 discussion hinges on exactly this
+//! construction. Also used as the classical baseline in the rrSTR ablation
+//! (an MST never beats a good Steiner tree, and the Steiner ratio bounds
+//! how much it can lose).
+
+use gmp_geom::Point;
+
+/// A minimum spanning tree over a set of points, rooted at index 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mst {
+    /// `parent[i]` is the tree parent of point `i` (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Children lists, derived from `parent`.
+    pub children: Vec<Vec<usize>>,
+    /// Total edge length.
+    pub total_length: f64,
+}
+
+/// Builds the Euclidean MST of `points`, rooted at `points\[0\]`, with
+/// Prim's algorithm in `O(n²)` — the same bound the paper quotes for LGS.
+///
+/// Returns a trivial single-vertex tree for one point.
+///
+/// # Panics
+///
+/// Panics if `points` is empty.
+/// # Example
+///
+/// ```
+/// use gmp_geom::Point;
+/// use gmp_steiner::mst::euclidean_mst;
+/// let mst = euclidean_mst(&[
+///     Point::new(0.0, 0.0),
+///     Point::new(10.0, 0.0),
+///     Point::new(20.0, 0.0),
+/// ]);
+/// assert_eq!(mst.total_length, 20.0);
+/// ```
+pub fn euclidean_mst(points: &[Point]) -> Mst {
+    assert!(!points.is_empty(), "MST needs at least one point");
+    let n = points.len();
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_link = vec![0usize; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut total = 0.0;
+    in_tree[0] = true;
+    for i in 1..n {
+        best_dist[i] = points[0].dist_sq(points[i]);
+        best_link[i] = 0;
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for i in 0..n {
+            if !in_tree[i] && best_dist[i] < pick_d {
+                pick = i;
+                pick_d = best_dist[i];
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX);
+        in_tree[pick] = true;
+        parent[pick] = Some(best_link[pick]);
+        total += pick_d.sqrt();
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = points[pick].dist_sq(points[i]);
+                if d < best_dist[i] {
+                    best_dist[i] = d;
+                    best_link[i] = pick;
+                }
+            }
+        }
+    }
+    let mut children = vec![Vec::new(); n];
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(i);
+        }
+    }
+    Mst {
+        parent,
+        children,
+        total_length: total,
+    }
+}
+
+impl Mst {
+    /// All indices in the subtree rooted at `v` (including `v`).
+    pub fn subtree(&self, v: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            stack.extend_from_slice(&self.children[x]);
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mst_of_single_point() {
+        let mst = euclidean_mst(&[Point::new(1.0, 1.0)]);
+        assert_eq!(mst.parent, vec![None]);
+        assert_eq!(mst.total_length, 0.0);
+    }
+
+    #[test]
+    fn mst_of_a_line_chains() {
+        let pts: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let mst = euclidean_mst(&pts);
+        assert_eq!(mst.parent[1], Some(0));
+        assert_eq!(mst.parent[2], Some(1));
+        assert_eq!(mst.parent[3], Some(2));
+        assert!((mst.total_length - 30.0).abs() < 1e-9);
+        assert_eq!(mst.subtree(1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn mst_total_matches_brute_force_on_small_sets() {
+        // Exhaustive check against all spanning trees via Kruskal-on-all-
+        // edges equivalence: compare with a simple O(n²) Kruskal.
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 1.0),
+            Point::new(4.0, 8.0),
+            Point::new(9.0, 9.0),
+            Point::new(2.0, 3.0),
+        ];
+        let mst = euclidean_mst(&pts);
+        // Kruskal with union-find.
+        let mut edges = Vec::new();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                edges.push((pts[i].dist(pts[j]), i, j));
+            }
+        }
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut dsu: Vec<usize> = (0..pts.len()).collect();
+        fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+            if dsu[x] != x {
+                let r = find(dsu, dsu[x]);
+                dsu[x] = r;
+            }
+            dsu[x]
+        }
+        let mut kruskal_total = 0.0;
+        for (w, i, j) in edges {
+            let (ri, rj) = (find(&mut dsu, i), find(&mut dsu, j));
+            if ri != rj {
+                dsu[ri] = rj;
+                kruskal_total += w;
+            }
+        }
+        assert!((mst.total_length - kruskal_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn children_are_consistent_with_parents() {
+        let pts: Vec<Point> = (0..10)
+            .map(|i| Point::new((i * 37 % 100) as f64, (i * 61 % 100) as f64))
+            .collect();
+        let mst = euclidean_mst(&pts);
+        for (i, p) in mst.parent.iter().enumerate() {
+            if let Some(p) = p {
+                assert!(mst.children[*p].contains(&i));
+            }
+        }
+        // Spanning: subtree of root is everything.
+        assert_eq!(mst.subtree(0), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_input_panics() {
+        euclidean_mst(&[]);
+    }
+}

@@ -1,0 +1,270 @@
+//! The reduction ratio measure (Section 3.1 of the paper).
+//!
+//! Given a source `s` and a destination pair `(u, v)`, let `t` be the exact
+//! Euclidean Steiner (Fermat) point of `{s, u, v}`. The reduction ratio is
+//!
+//! ```text
+//! RR(s, u, v) = 1 − (d(s,t) + d(t,u) + d(t,v)) / (d(s,u) + d(s,v))
+//! ```
+//!
+//! i.e. the fraction of the direct two-spoke cost saved by routing both
+//! destinations through the optimal junction. The measure uniformly
+//! captures the paper's two observations: pairs that are *far from the
+//! source but close to each other*, and pairs *subtending a small angle at
+//! the source*, both score high and are therefore merged first by rrSTR.
+//!
+//! Properties (paper Section 3.1, verified by this module's tests):
+//!
+//! * `0 ≤ RR < 1/2` for distinct destinations;
+//! * for equidistant destinations a fixed distance apart, RR grows as the
+//!   pair moves away from the source;
+//! * for a fixed pair radius, RR shrinks as the angle at the source grows.
+
+use gmp_geom::fermat::{fermat_point, FermatPoint};
+use gmp_geom::Point;
+
+/// The cached evaluation of one destination pair against a source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairEval {
+    /// The exact Steiner point of `{s, u, v}` (possibly collapsed onto a
+    /// vertex).
+    pub steiner: FermatPoint,
+    /// The reduction ratio; higher means merging this pair saves more.
+    pub ratio: f64,
+}
+
+/// Evaluates the reduction ratio of destination pair `(u, v)` relative to
+/// source `s`, returning both the ratio and the Steiner point (which rrSTR
+/// reuses, avoiding a second Fermat computation).
+///
+/// Degenerate input where both destinations coincide with the source yields
+/// a ratio of `0.0`.
+/// # Example
+///
+/// ```
+/// use gmp_geom::Point;
+/// use gmp_steiner::reduction_ratio;
+/// // A far-away, close-together pair saves nearly half the spoke cost.
+/// let e = reduction_ratio(
+///     Point::new(0.0, 0.0),
+///     Point::new(500.0, 10.0),
+///     Point::new(500.0, -10.0),
+/// );
+/// assert!(e.ratio > 0.45 && e.ratio < 0.5);
+/// ```
+pub fn reduction_ratio(s: Point, u: Point, v: Point) -> PairEval {
+    let steiner = fermat_point(s, u, v);
+    let denom = s.dist(u) + s.dist(v);
+    if denom <= gmp_geom::EPS {
+        return PairEval {
+            steiner,
+            ratio: 0.0,
+        };
+    }
+    let t = steiner.location;
+    let through = s.dist(t) + t.dist(u) + t.dist(v);
+    PairEval {
+        steiner,
+        ratio: 1.0 - through / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_bounded_below_one_half() {
+        let s = Point::new(0.0, 0.0);
+        let cases = [
+            (Point::new(10.0, 1.0), Point::new(10.0, -1.0)),
+            (Point::new(5.0, 5.0), Point::new(-5.0, 5.0)),
+            (Point::new(1.0, 0.0), Point::new(100.0, 0.0)),
+            (Point::new(3.0, 4.0), Point::new(3.0, 4.0)), // coincident pair
+        ];
+        for (u, v) in cases {
+            let e = reduction_ratio(s, u, v);
+            assert!(e.ratio >= -1e-9, "ratio {} negative for {u},{v}", e.ratio);
+            assert!(e.ratio <= 0.5 + 1e-9, "ratio {} too large", e.ratio);
+        }
+    }
+
+    #[test]
+    fn coincident_destinations_achieve_exactly_half() {
+        // With u == v the Steiner point is u and the through-cost is
+        // d(s,u), half the two-spoke cost.
+        let s = Point::new(0.0, 0.0);
+        let u = Point::new(7.0, 2.0);
+        let e = reduction_ratio(s, u, u);
+        assert!((e.ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_destinations_at_source_is_zero() {
+        let s = Point::new(1.0, 1.0);
+        assert_eq!(reduction_ratio(s, s, s).ratio, 0.0);
+    }
+
+    #[test]
+    fn farther_equidistant_pairs_have_larger_ratio() {
+        // Figure 2(a): pairs with the same separation score higher when
+        // farther from the source.
+        let s = Point::new(0.0, 0.0);
+        let half_sep = 10.0;
+        let mut prev = -1.0;
+        for r in [30.0, 60.0, 120.0, 240.0, 480.0] {
+            let u = Point::new(r, half_sep);
+            let v = Point::new(r, -half_sep);
+            let e = reduction_ratio(s, u, v);
+            assert!(
+                e.ratio > prev,
+                "RR should grow with distance: {} !> {} at r={}",
+                e.ratio,
+                prev,
+                r
+            );
+            prev = e.ratio;
+        }
+    }
+
+    #[test]
+    fn smaller_angles_have_larger_ratio() {
+        // Figure 2(b): for a fixed radius, smaller angle at the source
+        // means a larger reduction ratio.
+        let s = Point::new(0.0, 0.0);
+        let r = 100.0;
+        let mut prev = 1.0;
+        for deg in [10.0_f64, 30.0, 60.0, 90.0, 119.0] {
+            let half = deg.to_radians() / 2.0;
+            let u = Point::new(r * half.cos(), r * half.sin());
+            let v = Point::new(r * half.cos(), -r * half.sin());
+            let e = reduction_ratio(s, u, v);
+            assert!(
+                e.ratio < prev,
+                "RR should shrink with angle: {} !< {} at {}°",
+                e.ratio,
+                prev,
+                deg
+            );
+            prev = e.ratio;
+        }
+    }
+
+    #[test]
+    fn ratio_is_scale_invariant() {
+        let s = Point::new(0.0, 0.0);
+        let u = Point::new(10.0, 3.0);
+        let v = Point::new(8.0, -5.0);
+        let a = reduction_ratio(s, u, v).ratio;
+        let b = reduction_ratio(
+            s,
+            Point::new(u.x * 7.0, u.y * 7.0),
+            Point::new(v.x * 7.0, v.y * 7.0),
+        )
+        .ratio;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_is_symmetric_in_the_pair() {
+        let s = Point::new(1.0, 2.0);
+        let u = Point::new(50.0, 10.0);
+        let v = Point::new(45.0, -8.0);
+        let a = reduction_ratio(s, u, v).ratio;
+        let b = reduction_ratio(s, v, u).ratio;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_pairs_save_nothing() {
+        // Destinations on opposite sides of the source (angle ≥ 120°):
+        // the Steiner point is the source, so nothing is saved.
+        let s = Point::new(0.0, 0.0);
+        let e = reduction_ratio(s, Point::new(10.0, 0.0), Point::new(-10.0, 0.0));
+        assert!(e.ratio.abs() < 1e-9);
+        assert_eq!(e.steiner.location, s);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -1000.0..1000.0f64
+    }
+
+    proptest! {
+        #[test]
+        fn ratio_always_in_unit_half_interval(
+            sx in coord(), sy in coord(),
+            ux in coord(), uy in coord(),
+            vx in coord(), vy in coord(),
+        ) {
+            let s = Point::new(sx, sy);
+            let u = Point::new(ux, uy);
+            let v = Point::new(vx, vy);
+            let e = reduction_ratio(s, u, v);
+            // The Fermat point is optimal, so the through-cost can never
+            // exceed the two-spoke cost (RR ≥ 0), and it is at least half
+            // of it (RR ≤ 1/2) by the triangle inequality.
+            prop_assert!(e.ratio >= -1e-6, "ratio {}", e.ratio);
+            prop_assert!(e.ratio <= 0.5 + 1e-6, "ratio {}", e.ratio);
+        }
+
+        #[test]
+        fn property_2_farther_equidistant_pairs_score_higher(
+            half_sep in 1.0..50.0f64,
+            r1 in 60.0..400.0f64,
+            growth in 1.01..4.0f64,
+        ) {
+            // Paper property 2: equidistant destinations with the same
+            // separation have a larger reduction ratio when farther away.
+            let s = Point::new(0.0, 0.0);
+            let r2 = r1 * growth;
+            prop_assume!(half_sep < r1); // keep the pair "in front of" s
+            let rr1 = reduction_ratio(s, Point::new(r1, half_sep), Point::new(r1, -half_sep)).ratio;
+            let rr2 = reduction_ratio(s, Point::new(r2, half_sep), Point::new(r2, -half_sep)).ratio;
+            prop_assert!(rr2 >= rr1 - 1e-9, "RR({r2}) = {rr2} < RR({r1}) = {rr1}");
+        }
+
+        #[test]
+        fn property_3_smaller_angles_score_higher(
+            radius in 50.0..500.0f64,
+            a1 in 0.02..1.0f64,
+            widen in 1.01..2.0f64,
+        ) {
+            // Paper property 3: for a fixed radius, the reduction ratio
+            // shrinks as the angle at the source grows.
+            let s = Point::new(0.0, 0.0);
+            let a2 = (a1 * widen).min(std::f64::consts::PI - 0.01);
+            let at = |half: f64| {
+                let u = Point::new(radius * half.cos(), radius * half.sin());
+                let v = Point::new(radius * half.cos(), -radius * half.sin());
+                reduction_ratio(s, u, v).ratio
+            };
+            let rr_narrow = at(a1 / 2.0);
+            let rr_wide = at(a2 / 2.0);
+            prop_assert!(rr_narrow >= rr_wide - 1e-9,
+                "RR({a1} rad) = {rr_narrow} < RR({a2} rad) = {rr_wide}");
+        }
+
+        #[test]
+        fn through_cost_beats_vertex_junctions(
+            ux in coord(), uy in coord(),
+            vx in coord(), vy in coord(),
+        ) {
+            let s = Point::new(0.0, 0.0);
+            let u = Point::new(ux, uy);
+            let v = Point::new(vx, vy);
+            let e = reduction_ratio(s, u, v);
+            let t = e.steiner.location;
+            let through = s.dist(t) + t.dist(u) + t.dist(v);
+            for j in [s, u, v] {
+                let via = s.dist(j) + j.dist(u) + j.dist(v);
+                prop_assert!(through <= via + 1e-6);
+            }
+        }
+    }
+}

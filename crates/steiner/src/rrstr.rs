@@ -1,0 +1,477 @@
+//! rrSTR: the reduction-ratio heuristic for Euclidean Steiner trees
+//! (Figure 3 of the paper).
+//!
+//! Starting from the source and the destination set, rrSTR repeatedly
+//! merges the *active* destination pair with the largest reduction ratio,
+//! replacing it with a virtual destination at the pair's exact 3-point
+//! Steiner point. Radio-range awareness (Section 3.3) suppresses virtual
+//! junctions that would only add hops: a junction one hop away is worth a
+//! transmission only if
+//!
+//! ```text
+//! 1 + (d(t,u) + d(t,v)) / rr  <  (d(s,u) + d(s,v)) / rr
+//! ```
+//!
+//! Where the Figure 3 pseudocode and the Section 3.3 prose disagree, this
+//! implementation follows the pseudocode (see DESIGN.md).
+//!
+//! Complexity: `O(n² log n)` for `n` destinations, matching Section 4.2 —
+//! pairs live in a lazily-invalidated priority queue keyed by reduction
+//! ratio; each of the ≤ `n − 1` virtual destinations inserts `O(n)` new
+//! pairs.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use gmp_geom::Point;
+
+use crate::ratio::reduction_ratio;
+use crate::tree::{SteinerTree, VertexId, VertexKind};
+
+/// Whether rrSTR applies the radio-range-aware pruning of Section 3.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RadioRange {
+    /// Radio-range aware with the given range in meters — the GMP variant.
+    Aware(f64),
+    /// Range-oblivious — the GMPnr variant the paper ablates in Figures
+    /// 11–14.
+    Ignored,
+}
+
+/// A candidate pair in the priority queue. Ordered by reduction ratio with
+/// vertex ids as a deterministic tiebreak.
+#[derive(Debug, Clone, Copy)]
+struct PairEntry {
+    ratio: f64,
+    steiner: Point,
+    u: VertexId,
+    v: VertexId,
+}
+
+impl PartialEq for PairEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for PairEntry {}
+impl PartialOrd for PairEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PairEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.ratio
+            .total_cmp(&other.ratio)
+            .then_with(|| other.u.cmp(&self.u))
+            .then_with(|| other.v.cmp(&self.v))
+    }
+}
+
+/// Builds a heuristic Euclidean Steiner tree rooted at `source` spanning
+/// all of `dests` (Figure 3 of the paper).
+///
+/// The returned tree contains one [`VertexKind::Terminal`] per destination
+/// (carrying its index in `dests`) plus zero or more
+/// [`VertexKind::Virtual`] junctions. Every vertex is reachable from the
+/// root.
+///
+/// # Example
+///
+/// ```
+/// use gmp_geom::Point;
+/// use gmp_steiner::rrstr::{rrstr, RadioRange};
+///
+/// let tree = rrstr(
+///     Point::new(0.0, 0.0),
+///     &[Point::new(400.0, 30.0), Point::new(400.0, -30.0)],
+///     RadioRange::Aware(150.0),
+/// );
+/// // The two destinations merge through one virtual junction.
+/// assert_eq!(tree.len(), 4);
+/// tree.check_invariants().unwrap();
+/// ```
+#[allow(clippy::needless_range_loop)] // `active` is a parallel activity vector
+pub fn rrstr(source: Point, dests: &[Point], mode: RadioRange) -> SteinerTree {
+    let mut tree = SteinerTree::new(source);
+    let n = dests.len();
+    let mut active: Vec<bool> = vec![false]; // root inactive
+    for (i, &d) in dests.iter().enumerate() {
+        let v = tree.add_vertex(VertexKind::Terminal(i), d);
+        debug_assert_eq!(v, i + 1);
+        active.push(true);
+    }
+
+    let mut heap: BinaryHeap<PairEntry> = BinaryHeap::new();
+    let mut dead_pairs: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let push_pair =
+        |heap: &mut BinaryHeap<PairEntry>, tree: &SteinerTree, u: VertexId, v: VertexId| {
+            // Evaluate in normalized (min, max) order so the Fermat-point
+            // computation is bit-identical no matter which way the pair was
+            // discovered (pins the tree to the reference implementation).
+            let (a, b) = (u.min(v), u.max(v));
+            let e = reduction_ratio(source, tree.pos(a), tree.pos(b));
+            heap.push(PairEntry {
+                ratio: e.ratio,
+                steiner: e.steiner.location,
+                u: a,
+                v: b,
+            });
+        };
+    for u in 1..=n {
+        for v in (u + 1)..=n {
+            push_pair(&mut heap, &tree, u, v);
+        }
+    }
+
+    loop {
+        // Find the active pair with the largest reduction ratio, skipping
+        // stale entries (lazy deletion).
+        let entry = loop {
+            match heap.pop() {
+                None => break None,
+                Some(e) => {
+                    if active[e.u] && active[e.v] && !dead_pairs.contains(&(e.u, e.v)) {
+                        break Some(e);
+                    }
+                }
+            }
+        };
+        let Some(e) = entry else {
+            // No distinct active pair remains: the pseudocode's terminal
+            // `(u, u)` case — connect each remaining active vertex
+            // directly to the source.
+            for v in 1..tree.len() {
+                if active[v] {
+                    tree.add_edge(tree.root(), v);
+                    active[v] = false;
+                }
+            }
+            break;
+        };
+
+        let (u, v) = (e.u, e.v);
+        let (pu, pv) = (tree.pos(u), tree.pos(v));
+        let t = e.steiner;
+
+        if t.almost_eq(source) {
+            // Steiner point collocated with the source: direct spokes.
+            tree.add_edge(tree.root(), u);
+            tree.add_edge(tree.root(), v);
+            active[u] = false;
+            active[v] = false;
+        } else if t.almost_eq(pu) {
+            // Steiner point collocated with u: u covers v and stays active.
+            tree.add_edge(u, v);
+            active[v] = false;
+        } else if t.almost_eq(pv) {
+            tree.add_edge(v, u);
+            active[u] = false;
+        } else if let RadioRange::Aware(rr) = mode {
+            let du = source.dist(pu);
+            let dv = source.dist(pv);
+            let spokes = du + dv;
+            let via_t = t.dist(pu) + t.dist(pv);
+            if du < rr && dv < rr {
+                // Both already one hop away; a junction only adds hops.
+                dead_pairs.insert((u, v));
+            } else if du < rr {
+                if rr + via_t > spokes {
+                    dead_pairs.insert((u, v));
+                } else {
+                    // Use u itself as the junction.
+                    tree.add_edge(u, v);
+                    active[v] = false;
+                }
+            } else if dv < rr {
+                if rr + via_t > spokes {
+                    dead_pairs.insert((u, v));
+                } else {
+                    tree.add_edge(v, u);
+                    active[u] = false;
+                }
+            } else if source.dist(t) < rr && rr + via_t > spokes {
+                // Junction in range but not worth a transmission.
+                tree.add_edge(tree.root(), u);
+                tree.add_edge(tree.root(), v);
+                active[u] = false;
+                active[v] = false;
+            } else {
+                create_virtual(
+                    &mut tree,
+                    &mut active,
+                    &mut heap,
+                    source,
+                    t,
+                    u,
+                    v,
+                    push_pair,
+                );
+            }
+        } else {
+            create_virtual(
+                &mut tree,
+                &mut active,
+                &mut heap,
+                source,
+                t,
+                u,
+                v,
+                push_pair,
+            );
+        }
+    }
+
+    debug_assert!(tree.check_invariants().is_ok());
+    debug_assert_eq!(tree.reachable_from_root().len(), tree.len());
+    tree
+}
+
+/// Creates a virtual destination at `t` covering `u` and `v`, and enqueues
+/// its pairs against every still-active vertex.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::needless_range_loop)]
+fn create_virtual(
+    tree: &mut SteinerTree,
+    active: &mut Vec<bool>,
+    heap: &mut BinaryHeap<PairEntry>,
+    _source: Point,
+    t: Point,
+    u: VertexId,
+    v: VertexId,
+    push_pair: impl Fn(&mut BinaryHeap<PairEntry>, &SteinerTree, VertexId, VertexId),
+) {
+    let w = tree.add_vertex(VertexKind::Virtual, t);
+    tree.add_edge(w, u);
+    tree.add_edge(w, v);
+    active[u] = false;
+    active[v] = false;
+    active.push(true);
+    debug_assert_eq!(active.len(), tree.len());
+    for i in 1..w {
+        if active[i] {
+            push_pair(heap, tree, w, i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RR: f64 = 150.0;
+
+    fn spokes_total(source: Point, dests: &[Point]) -> f64 {
+        dests.iter().map(|&d| source.dist(d)).sum()
+    }
+
+    fn assert_spans(tree: &SteinerTree, dests: &[Point]) {
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.reachable_from_root().len(), tree.len());
+        let covered = tree.terminals_in_subtree(tree.root());
+        assert_eq!(covered, (0..dests.len()).collect::<Vec<_>>());
+        for v in tree.vertex_ids() {
+            if let VertexKind::Terminal(i) = tree.kind(v) {
+                assert_eq!(tree.pos(v), dests[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_destination_set_gives_bare_root() {
+        let tree = rrstr(Point::ORIGIN, &[], RadioRange::Aware(RR));
+        assert!(tree.is_empty());
+        assert_eq!(tree.total_length(), 0.0);
+    }
+
+    #[test]
+    fn single_destination_gets_direct_edge() {
+        let d = Point::new(500.0, 0.0);
+        let tree = rrstr(Point::ORIGIN, &[d], RadioRange::Aware(RR));
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.children(tree.root()), &[1]);
+        assert!((tree.total_length() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_close_pair_merges_through_virtual_junction() {
+        // Observation 1: far from the source, close to each other.
+        let dests = [Point::new(600.0, 40.0), Point::new(600.0, -40.0)];
+        let tree = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(RR));
+        assert_spans(&tree, &dests);
+        let virtuals: Vec<_> = tree.vertex_ids().filter(|&v| tree.is_virtual(v)).collect();
+        assert_eq!(virtuals.len(), 1, "expected exactly one virtual junction");
+        // Tree length strictly better than two direct spokes.
+        assert!(tree.total_length() < spokes_total(Point::ORIGIN, &dests) - 1.0);
+    }
+
+    #[test]
+    fn opposite_destinations_get_direct_spokes() {
+        // Angle at source is 180° ⇒ Steiner point is the source itself.
+        let dests = [Point::new(400.0, 0.0), Point::new(-400.0, 0.0)];
+        let tree = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(RR));
+        assert_spans(&tree, &dests);
+        assert_eq!(tree.children(tree.root()).len(), 2);
+        assert!(tree.vertex_ids().all(|v| !tree.is_virtual(v)));
+        assert!((tree.total_length() - 800.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn both_in_radio_range_suppresses_junction() {
+        // Both destinations one hop away: range-aware rrSTR must not
+        // create a virtual junction (first case of Section 3.3).
+        let dests = [Point::new(100.0, 20.0), Point::new(100.0, -20.0)];
+        let aware = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(RR));
+        assert_spans(&aware, &dests);
+        assert!(aware.vertex_ids().all(|v| !aware.is_virtual(v)));
+        // Both hang directly off the root.
+        assert_eq!(aware.children(aware.root()).len(), 2);
+
+        // The range-oblivious variant happily creates the junction.
+        let nr = rrstr(Point::ORIGIN, &dests, RadioRange::Ignored);
+        assert_spans(&nr, &dests);
+        assert!(nr.vertex_ids().any(|v| nr.is_virtual(v)));
+    }
+
+    #[test]
+    fn collocated_destination_pair_chains() {
+        // Two destinations at the same point: the Steiner point collapses
+        // onto them, so one covers the other with a zero-length edge.
+        let p = Point::new(300.0, 100.0);
+        let dests = [p, p];
+        let tree = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(RR));
+        assert_spans(&tree, &dests);
+        assert!(tree.vertex_ids().all(|v| !tree.is_virtual(v)));
+        assert!((tree.total_length() - Point::ORIGIN.dist(p)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn destination_at_source_is_handled() {
+        let dests = [Point::ORIGIN, Point::new(200.0, 0.0)];
+        let tree = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(RR));
+        assert_spans(&tree, &dests);
+    }
+
+    #[test]
+    fn figure_4_like_scenario_builds_nested_junctions() {
+        // Mimics Figure 4: u,v far and close together; d a bit closer;
+        // c on the way. rrSTR should merge (u,v) first, then chain.
+        let s = Point::ORIGIN;
+        let u = Point::new(900.0, 80.0);
+        let v = Point::new(900.0, -80.0);
+        let d = Point::new(700.0, -200.0);
+        let c = Point::new(350.0, -60.0);
+        let dests = [c, u, v, d];
+        let tree = rrstr(s, &dests, RadioRange::Aware(RR));
+        assert_spans(&tree, &dests);
+        // At least two virtual junctions (w1 for (u,v), w2 joining d).
+        let virtuals = tree.vertex_ids().filter(|&x| tree.is_virtual(x)).count();
+        assert!(virtuals >= 2, "expected nested junctions, got {virtuals}");
+        // The root should have a single pivot (everything funnels through c's
+        // direction), matching the paper's narrative.
+        assert_eq!(tree.children(tree.root()).len(), 1);
+    }
+
+    #[test]
+    fn tree_never_longer_than_direct_spokes() {
+        // Every rrSTR merge replaces two spokes by a cheaper-or-equal
+        // through-path, so the total can never exceed the star.
+        let mut seed = 12345u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for case in 0..20 {
+            let n = 2 + case % 12;
+            let dests: Vec<Point> = (0..n)
+                .map(|_| Point::new(next() * 1000.0, next() * 1000.0))
+                .collect();
+            let s = Point::new(next() * 1000.0, next() * 1000.0);
+            for mode in [RadioRange::Aware(RR), RadioRange::Ignored] {
+                let tree = rrstr(s, &dests, mode);
+                assert_spans(&tree, &dests);
+                assert!(
+                    tree.total_length() <= spokes_total(s, &dests) + 1e-6,
+                    "case {case}: tree {} > spokes {}",
+                    tree.total_length(),
+                    spokes_total(s, &dests)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aware_and_unaware_agree_when_radio_range_is_tiny() {
+        // With a vanishing radio range none of the Section 3.3 cases can
+        // trigger, so both variants build the same tree.
+        let dests = [
+            Point::new(400.0, 100.0),
+            Point::new(500.0, -50.0),
+            Point::new(300.0, 300.0),
+        ];
+        let aware = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(1e-9));
+        let nr = rrstr(Point::ORIGIN, &dests, RadioRange::Ignored);
+        assert_eq!(aware, nr);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let dests = [
+            Point::new(123.0, 456.0),
+            Point::new(789.0, 12.0),
+            Point::new(345.0, 678.0),
+            Point::new(901.0, 234.0),
+        ];
+        let a = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(RR));
+        let b = rrstr(Point::ORIGIN, &dests, RadioRange::Aware(RR));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn virtual_count_bounded_by_terminals() {
+        let dests: Vec<Point> = (0..15)
+            .map(|i| Point::new(800.0 + (i % 5) as f64 * 30.0, (i / 5) as f64 * 40.0))
+            .collect();
+        let tree = rrstr(Point::ORIGIN, &dests, RadioRange::Ignored);
+        let virtuals = tree.vertex_ids().filter(|&v| tree.is_virtual(v)).count();
+        assert!(virtuals < dests.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+        proptest::collection::vec((0.0..1000.0f64, 0.0..1000.0f64), 1..max)
+            .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn rrstr_spans_all_destinations(
+            dests in points(14),
+            sx in 0.0..1000.0f64,
+            sy in 0.0..1000.0f64,
+            aware in proptest::bool::ANY,
+        ) {
+            let s = Point::new(sx, sy);
+            let mode = if aware { RadioRange::Aware(150.0) } else { RadioRange::Ignored };
+            let tree = rrstr(s, &dests, mode);
+            tree.check_invariants().unwrap();
+            prop_assert_eq!(tree.reachable_from_root().len(), tree.len());
+            prop_assert_eq!(
+                tree.terminals_in_subtree(tree.root()),
+                (0..dests.len()).collect::<Vec<_>>()
+            );
+            let spokes: f64 = dests.iter().map(|&d| s.dist(d)).sum();
+            prop_assert!(tree.total_length() <= spokes + 1e-6);
+        }
+    }
+}

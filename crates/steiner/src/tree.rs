@@ -1,0 +1,333 @@
+//! The rooted Steiner tree produced by rrSTR and consumed by GMP routing.
+//!
+//! Vertices are either the **root** (the transmitting node), **terminals**
+//! (actual destinations, identified by their index in the caller's
+//! destination list), or **virtual** junctions (Euclidean Steiner points
+//! that need not correspond to any sensor node — the paper's key
+//! flexibility over LGS).
+//!
+//! Children are stored in edge-insertion order: GMP's void handling
+//! (Section 4.1) removes the *last* child of a pivot, which "can easily be
+//! found if the order in which edges are included to the Steiner tree is
+//! saved" — so we save it.
+
+use gmp_geom::Point;
+
+/// What a tree vertex represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VertexKind {
+    /// The transmitting node the tree is rooted at.
+    Root,
+    /// An actual destination; the payload is its index in the destination
+    /// list the tree was built from.
+    Terminal(usize),
+    /// A virtual Euclidean junction created by rrSTR.
+    Virtual,
+}
+
+/// Handle of a vertex within a [`SteinerTree`].
+pub type VertexId = usize;
+
+/// A rooted tree over Euclidean points, with terminals and virtual
+/// junctions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    kinds: Vec<VertexKind>,
+    positions: Vec<Point>,
+    parent: Vec<Option<VertexId>>,
+    /// Children in edge-insertion order.
+    children: Vec<Vec<VertexId>>,
+}
+
+impl SteinerTree {
+    /// Creates a tree containing only the root at `root_pos`.
+    pub fn new(root_pos: Point) -> Self {
+        SteinerTree {
+            kinds: vec![VertexKind::Root],
+            positions: vec![root_pos],
+            parent: vec![None],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// The root vertex id (always `0`).
+    #[inline]
+    pub fn root(&self) -> VertexId {
+        0
+    }
+
+    /// Number of vertices (root + terminals + virtuals).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// `true` iff the tree contains only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 1
+    }
+
+    /// Adds a detached vertex (no parent yet) and returns its id.
+    pub fn add_vertex(&mut self, kind: VertexKind, pos: Point) -> VertexId {
+        debug_assert!(kind != VertexKind::Root, "only one root");
+        self.kinds.push(kind);
+        self.positions.push(pos);
+        self.parent.push(None);
+        self.children.push(Vec::new());
+        self.kinds.len() - 1
+    }
+
+    /// Adds the edge `parent → child` (append order is preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `child` already has a parent or the edge would self-loop.
+    pub fn add_edge(&mut self, parent: VertexId, child: VertexId) {
+        assert_ne!(parent, child, "self loop");
+        assert!(
+            self.parent[child].is_none(),
+            "vertex {child} already attached"
+        );
+        self.parent[child] = Some(parent);
+        self.children[parent].push(child);
+    }
+
+    /// The vertex's kind.
+    #[inline]
+    pub fn kind(&self, v: VertexId) -> VertexKind {
+        self.kinds[v]
+    }
+
+    /// The vertex's location.
+    #[inline]
+    pub fn pos(&self, v: VertexId) -> Point {
+        self.positions[v]
+    }
+
+    /// The vertex's parent (`None` for the root and detached vertices).
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v]
+    }
+
+    /// The vertex's children in edge-insertion order.
+    #[inline]
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.children[v]
+    }
+
+    /// `true` if the vertex is a virtual junction.
+    #[inline]
+    pub fn is_virtual(&self, v: VertexId) -> bool {
+        self.kinds[v] == VertexKind::Virtual
+    }
+
+    /// Iterates over all vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = VertexId> {
+        0..self.kinds.len()
+    }
+
+    /// Number of terminal vertices.
+    pub fn terminal_count(&self) -> usize {
+        self.kinds
+            .iter()
+            .filter(|k| matches!(k, VertexKind::Terminal(_)))
+            .count()
+    }
+
+    /// The destination-list indices of all terminals in the subtree rooted
+    /// at `v` (including `v` itself if it is a terminal) — the *group* of a
+    /// pivot in GMP terminology (Section 4).
+    pub fn terminals_in_subtree(&self, v: VertexId) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            if let VertexKind::Terminal(i) = self.kinds[x] {
+                out.push(i);
+            }
+            stack.extend_from_slice(&self.children[x]);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The sum of all edge lengths.
+    pub fn total_length(&self) -> f64 {
+        self.vertex_ids()
+            .filter_map(|v| self.parent[v].map(|p| self.positions[v].dist(self.positions[p])))
+            .sum()
+    }
+
+    /// Detaches and returns the most recently attached child of `v`, or
+    /// `None` if `v` has no children — the "last child" rule of GMP's
+    /// group splitting.
+    pub fn detach_last_child(&mut self, v: VertexId) -> Option<VertexId> {
+        let child = self.children[v].pop()?;
+        self.parent[child] = None;
+        Some(child)
+    }
+
+    /// Detaches `child` from its current parent (if any) and re-attaches it
+    /// under the root — used when GMP promotes a subtree to a new pivot.
+    pub fn reattach_to_root(&mut self, child: VertexId) {
+        if let Some(p) = self.parent[child] {
+            self.children[p].retain(|&c| c != child);
+        }
+        let root = self.root();
+        self.parent[child] = Some(root);
+        self.children[root].push(child);
+    }
+
+    /// Verifies structural invariants (acyclicity via parent pointers,
+    /// parent/child consistency). Intended for tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for v in self.vertex_ids() {
+            for &c in &self.children[v] {
+                if self.parent[c] != Some(v) {
+                    return Err(format!("child {c} of {v} disagrees about its parent"));
+                }
+            }
+            if let Some(p) = self.parent[v] {
+                if !self.children[p].contains(&v) {
+                    return Err(format!("vertex {v} not in parent {p}'s child list"));
+                }
+                // Walk to the root; must terminate within len() steps.
+                let mut cur = v;
+                let mut steps = 0;
+                while let Some(p) = self.parent[cur] {
+                    cur = p;
+                    steps += 1;
+                    if steps > self.len() {
+                        return Err(format!("cycle through vertex {v}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// All vertices reachable from the root — equals the whole tree when
+    /// every vertex has been attached.
+    pub fn reachable_from_root(&self) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            stack.extend_from_slice(&self.children[v]);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Edges as `(parent, child)` pairs, for rendering and tests.
+    pub fn edges(&self) -> Vec<(VertexId, VertexId)> {
+        self.vertex_ids()
+            .filter_map(|v| self.parent[v].map(|p| (p, v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> SteinerTree {
+        // root ── w (virtual) ── t0, t1 ; root ── t2
+        let mut t = SteinerTree::new(Point::new(0.0, 0.0));
+        let w = t.add_vertex(VertexKind::Virtual, Point::new(10.0, 0.0));
+        let t0 = t.add_vertex(VertexKind::Terminal(0), Point::new(20.0, 5.0));
+        let t1 = t.add_vertex(VertexKind::Terminal(1), Point::new(20.0, -5.0));
+        let t2 = t.add_vertex(VertexKind::Terminal(2), Point::new(-5.0, 0.0));
+        t.add_edge(w, t0);
+        t.add_edge(w, t1);
+        t.add_edge(t.root(), w);
+        t.add_edge(t.root(), t2);
+        t
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let t = sample_tree();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.terminal_count(), 3);
+        assert_eq!(t.children(t.root()), &[1, 4]);
+        assert_eq!(t.parent(1), Some(0));
+        assert_eq!(t.kind(1), VertexKind::Virtual);
+        assert!(t.is_virtual(1));
+        assert!(!t.is_virtual(2));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn groups_are_subtree_terminals() {
+        let t = sample_tree();
+        assert_eq!(t.terminals_in_subtree(1), vec![0, 1]);
+        assert_eq!(t.terminals_in_subtree(4), vec![2]);
+        assert_eq!(t.terminals_in_subtree(t.root()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn total_length_sums_edges() {
+        let t = sample_tree();
+        let expected = 10.0 // root→w
+            + Point::new(10.0,0.0).dist(Point::new(20.0,5.0))
+            + Point::new(10.0,0.0).dist(Point::new(20.0,-5.0))
+            + 5.0; // root→t2
+        assert!((t.total_length() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detach_last_child_pops_in_insertion_order() {
+        let mut t = sample_tree();
+        // w's children were inserted t0 then t1 ⇒ last child is t1.
+        assert_eq!(t.detach_last_child(1), Some(3));
+        assert_eq!(t.parent(3), None);
+        assert_eq!(t.children(1), &[2]);
+        assert_eq!(t.detach_last_child(1), Some(2));
+        assert_eq!(t.detach_last_child(1), None);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn reattach_to_root_moves_subtree() {
+        let mut t = sample_tree();
+        t.reattach_to_root(3); // move t1 directly under the root
+        assert_eq!(t.parent(3), Some(0));
+        assert_eq!(t.children(0), &[1, 4, 3]);
+        assert_eq!(t.terminals_in_subtree(1), vec![0]);
+        t.check_invariants().unwrap();
+        assert_eq!(t.reachable_from_root(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn edges_lists_parent_child_pairs() {
+        let t = sample_tree();
+        let mut e = t.edges();
+        e.sort();
+        assert_eq!(e, vec![(0, 1), (0, 4), (1, 2), (1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn double_attachment_panics() {
+        let mut t = sample_tree();
+        t.add_edge(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn self_loop_panics() {
+        let mut t = sample_tree();
+        t.add_edge(2, 2);
+    }
+
+    #[test]
+    fn invariant_checker_catches_corruption() {
+        let mut t = sample_tree();
+        // Corrupt: make vertex 2's parent pointer dangle.
+        t.parent[2] = Some(4);
+        assert!(t.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Geocasting (extension): deliver to every sensor inside a geographic
+//! region the source cannot enumerate.
+//!
+//! The packet approaches the region with GPSR-style geographic routing
+//! and floods inside it; compare the cost against naively multicasting to
+//! a pre-known member list with GMP.
+//!
+//! ```sh
+//! cargo run --release --example geocast
+//! ```
+
+use gmp::geom::{Point, Region};
+use gmp::gmp::{GmpGeocast, GmpRouter};
+use gmp::net::{NodeId, Topology};
+use gmp::sim::geocast::{GeocastRunner, GeocastTask};
+use gmp::sim::{MulticastTask, SimConfig, TaskRunner};
+
+fn main() {
+    let config = SimConfig::paper();
+    let topo = Topology::random(&config.topology_config(), 77);
+
+    let region = Region::Circle {
+        center: Point::new(820.0, 780.0),
+        radius: 150.0,
+    };
+    let source = NodeId(0);
+    let task = GeocastTask {
+        source,
+        region: region.clone(),
+    };
+
+    let runner = GeocastRunner::new(&topo, &config);
+    let report = runner.run(&mut GmpGeocast::new(), &task);
+    println!(
+        "geocast to a 150 m disk at (820, 780): {} members, coverage {:.0}%",
+        report.members.len(),
+        report.coverage() * 100.0
+    );
+    println!(
+        "  {} transmissions, {:.3} J",
+        report.transmissions, report.energy_j
+    );
+
+    // For comparison: if the source somehow knew the member list, what
+    // would GMP multicast cost?
+    let dests: Vec<NodeId> = report
+        .members
+        .iter()
+        .copied()
+        .filter(|&m| m != source)
+        .collect();
+    let mtask = MulticastTask::new(source, dests);
+    let mreport = TaskRunner::new(&topo, &config).run(&mut GmpRouter::new(), &mtask);
+    println!(
+        "GMP multicast to the same {} nodes (member list known a priori):",
+        mtask.k()
+    );
+    println!(
+        "  {} transmissions, {:.3} J",
+        mreport.transmissions, mreport.energy_j
+    );
+    println!(
+        "\ngeocast pays {:.1}× the transmissions to avoid any membership \
+         knowledge",
+        report.transmissions as f64 / mreport.transmissions as f64
+    );
+    assert!(report.coverage() > 0.9);
+}

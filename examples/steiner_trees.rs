@@ -1,0 +1,81 @@
+//! Visualizes rrSTR's virtual Euclidean Steiner tree next to LGS's MST on
+//! the paper's Figure 1/4 scenario, and prints the length comparison.
+//!
+//! Writes `steiner_trees.svg` with the rrSTR tree (dashed blue, virtual
+//! junctions as hollow squares) and the MST (solid gray).
+//!
+//! ```sh
+//! cargo run --release --example steiner_trees
+//! ```
+
+use gmp::geom::{Aabb, Point};
+use gmp::steiner::mst::euclidean_mst;
+use gmp::steiner::rrstr::{rrstr, RadioRange};
+use gmp::steiner::tree::VertexKind;
+use gmp::viz::SvgScene;
+
+fn main() {
+    // The Figure 4 cast: destinations u, v far away and close together,
+    // d below them, c on the way.
+    let s = Point::new(80.0, 300.0);
+    let dests = vec![
+        Point::new(420.0, 240.0), // c
+        Point::new(900.0, 380.0), // u
+        Point::new(900.0, 220.0), // v
+        Point::new(720.0, 100.0), // d
+    ];
+    let labels = ["c", "u", "v", "d"];
+
+    let tree = rrstr(s, &dests, RadioRange::Aware(150.0));
+    let mut mst_points = vec![s];
+    mst_points.extend_from_slice(&dests);
+    let mst = euclidean_mst(&mst_points);
+
+    println!("rrSTR tree length : {:.1} m", tree.total_length());
+    println!("MST length        : {:.1} m", mst.total_length);
+    println!(
+        "virtual junctions : {}",
+        tree.vertex_ids().filter(|&v| tree.is_virtual(v)).count()
+    );
+    println!("\nrrSTR edges (parent → child):");
+    for (p, c) in tree.edges() {
+        let name = |v: usize| match tree.kind(v) {
+            VertexKind::Root => "s".to_string(),
+            VertexKind::Terminal(i) => labels[i].to_string(),
+            VertexKind::Virtual => format!("w@{}", tree.pos(v)),
+        };
+        println!("  {} → {}", name(p), name(c));
+    }
+
+    // Side-by-side SVG.
+    let bounds = Aabb::new(Point::new(0.0, 0.0), Point::new(1000.0, 500.0));
+    let mut scene = SvgScene::new(bounds);
+    // MST in gray (solid).
+    for (i, parent) in mst.parent.iter().enumerate() {
+        if let Some(p) = parent {
+            scene.line(mst_points[i], mst_points[*p], "#999999", 1.0);
+        }
+    }
+    // rrSTR in blue (dashed, like the paper's figures).
+    for (p, c) in tree.edges() {
+        scene.dashed_line(tree.pos(p), tree.pos(c), "#3366cc", 1.5);
+    }
+    for v in tree.vertex_ids() {
+        match tree.kind(v) {
+            VertexKind::Root => {
+                scene.circle(tree.pos(v), 6.0, "#118811");
+                scene.label(tree.pos(v), "s", "#118811");
+            }
+            VertexKind::Terminal(i) => {
+                scene.circle(tree.pos(v), 5.0, "#cc3311");
+                scene.label(tree.pos(v), labels[i], "#cc3311");
+            }
+            VertexKind::Virtual => {
+                scene.ring(tree.pos(v), 6.0, "#3366cc");
+            }
+        }
+    }
+    let path = "steiner_trees.svg";
+    std::fs::write(path, scene.finish()).expect("write svg");
+    println!("\nwrote {path} — dashed blue: rrSTR (hollow = virtual), gray: MST");
+}

@@ -1,0 +1,130 @@
+//! Minimal SVG rendering of topologies, Steiner trees, and multicast routes.
+//!
+//! The examples use this module to emit figures comparable to the paper's
+//! diagrams (Figures 1, 4, 8). No external dependencies; the output is a
+//! plain SVG string the caller can write to a file.
+
+use std::fmt::Write as _;
+
+use gmp_geom::{Aabb, Point};
+
+/// An SVG scene being assembled. Coordinates are in network meters; the
+/// renderer flips the y-axis so north is up.
+#[derive(Debug)]
+pub struct SvgScene {
+    bounds: Aabb,
+    body: String,
+}
+
+impl SvgScene {
+    /// Creates a scene covering `bounds` (typically the deployment area).
+    pub fn new(bounds: Aabb) -> Self {
+        SvgScene {
+            bounds,
+            body: String::new(),
+        }
+    }
+
+    fn tx(&self, p: Point) -> (f64, f64) {
+        (p.x - self.bounds.min.x, self.bounds.max.y - p.y)
+    }
+
+    /// Draws a filled circle of radius `r` meters at `p`.
+    pub fn circle(&mut self, p: Point, r: f64, color: &str) -> &mut Self {
+        let (x, y) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{x:.2}" cy="{y:.2}" r="{r:.2}" fill="{color}"/>"#
+        );
+        self
+    }
+
+    /// Draws an unfilled circle (e.g. a radio range) at `p`.
+    pub fn ring(&mut self, p: Point, r: f64, color: &str) -> &mut Self {
+        let (x, y) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{x:.2}" cy="{y:.2}" r="{r:.2}" fill="none" stroke="{color}" stroke-width="1" stroke-dasharray="4 4"/>"#
+        );
+        self
+    }
+
+    /// Draws a line segment between two points.
+    pub fn line(&mut self, a: Point, b: Point, color: &str, width: f64) -> &mut Self {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{color}" stroke-width="{width:.2}"/>"#
+        );
+        self
+    }
+
+    /// Draws a dashed line segment (used for virtual Steiner tree edges,
+    /// mirroring the paper's figures).
+    pub fn dashed_line(&mut self, a: Point, b: Point, color: &str, width: f64) -> &mut Self {
+        let (x1, y1) = self.tx(a);
+        let (x2, y2) = self.tx(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{color}" stroke-width="{width:.2}" stroke-dasharray="6 4"/>"#
+        );
+        self
+    }
+
+    /// Draws a text label at `p`.
+    pub fn label(&mut self, p: Point, text: &str, color: &str) -> &mut Self {
+        let (x, y) = self.tx(p);
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="12" fill="{color}">{text}</text>"#
+        );
+        self
+    }
+
+    /// Finalizes the scene into a standalone SVG document.
+    pub fn finish(&self) -> String {
+        let w = self.bounds.width();
+        let h = self.bounds.height();
+        format!(
+            concat!(
+                r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" "#,
+                r#"viewBox="0 0 {w} {h}">"#,
+                "\n<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n{body}</svg>\n"
+            ),
+            w = w,
+            h = h,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_renders_valid_svg_shell() {
+        let mut s = SvgScene::new(Aabb::square(100.0));
+        s.circle(Point::new(10.0, 10.0), 2.0, "black")
+            .ring(Point::new(10.0, 10.0), 20.0, "gray")
+            .line(Point::new(0.0, 0.0), Point::new(100.0, 100.0), "blue", 1.0)
+            .dashed_line(Point::new(0.0, 100.0), Point::new(100.0, 0.0), "red", 1.0)
+            .label(Point::new(50.0, 50.0), "s", "black");
+        let svg = s.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains(">s</text>"));
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        let mut s = SvgScene::new(Aabb::square(100.0));
+        s.circle(Point::new(0.0, 0.0), 1.0, "black");
+        let svg = s.finish();
+        // Network origin (bottom-left) maps to SVG (0, 100).
+        assert!(svg.contains(r#"cx="0.00" cy="100.00""#));
+    }
+}

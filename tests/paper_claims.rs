@@ -1,0 +1,201 @@
+//! Statistical shape tests for the paper's headline claims, on fixed
+//! seeds so they are deterministic. Each test aggregates enough tasks for
+//! the ordering to be stable, with slack for the claims that our
+//! idealized substrate reproduces only approximately (see EXPERIMENTS.md).
+
+use gmp::baselines::{GrdRouter, LgsRouter, PbmRouter};
+use gmp::gmp::GmpRouter;
+use gmp::net::Topology;
+use gmp::sim::{MulticastTask, Protocol, SimConfig, TaskRunner};
+
+struct Aggregate {
+    total_hops: f64,
+    dest_hops: f64,
+    energy: f64,
+    failures: usize,
+}
+
+fn aggregate(
+    topo: &Topology,
+    config: &SimConfig,
+    make: &dyn Fn() -> Box<dyn Protocol>,
+    k: usize,
+    tasks: u64,
+) -> Aggregate {
+    let runner = TaskRunner::new(topo, config);
+    let mut agg = Aggregate {
+        total_hops: 0.0,
+        dest_hops: 0.0,
+        energy: 0.0,
+        failures: 0,
+    };
+    for seed in 0..tasks {
+        let task = MulticastTask::random(topo, k, seed * 7 + 1);
+        let report = runner.run(make().as_mut(), &task);
+        agg.total_hops += report.transmissions as f64;
+        agg.dest_hops += report.mean_dest_hops().unwrap_or(0.0);
+        agg.energy += report.energy_j;
+        if !report.delivered_all() {
+            agg.failures += 1;
+        }
+    }
+    agg
+}
+
+fn paper_topology(seed: u64) -> (Topology, SimConfig) {
+    let config = SimConfig::paper();
+    (Topology::random(&config.topology_config(), seed), config)
+}
+
+#[test]
+fn fig11_gmp_beats_pbm_on_total_hops() {
+    // The headline claim: "GMP requires 25% less hops … than alternative
+    // algorithms". Against PBM (best-λ is even costlier; we use λ = 0.3,
+    // near the paper's sweet spot) GMP must win by a clear margin.
+    let (topo, config) = paper_topology(100);
+    let gmp = aggregate(&topo, &config, &|| Box::new(GmpRouter::new()), 15, 25);
+    let pbm = aggregate(
+        &topo,
+        &config,
+        &|| Box::new(PbmRouter::with_lambda(0.3)),
+        15,
+        25,
+    );
+    assert!(
+        gmp.total_hops < 0.9 * pbm.total_hops,
+        "GMP {} vs PBM {}: expected ≥10% fewer total hops",
+        gmp.total_hops,
+        pbm.total_hops
+    );
+}
+
+#[test]
+fn fig11_radio_awareness_saves_hops() {
+    // "GMPnr uses more hops than GMP", growing with k.
+    let (topo, config) = paper_topology(101);
+    let gmp = aggregate(&topo, &config, &|| Box::new(GmpRouter::new()), 20, 25);
+    let nr = aggregate(
+        &topo,
+        &config,
+        &|| Box::new(GmpRouter::without_radio_range_awareness()),
+        20,
+        25,
+    );
+    assert!(
+        gmp.total_hops < nr.total_hops,
+        "GMP {} vs GMPnr {}",
+        gmp.total_hops,
+        nr.total_hops
+    );
+}
+
+#[test]
+fn fig12_gmp_close_to_the_greedy_lower_bound() {
+    // "PBM, SMT and GMP provide comparable per destination hop counts
+    // (close to the greedy solution, GRD)."
+    let (topo, config) = paper_topology(102);
+    let gmp = aggregate(&topo, &config, &|| Box::new(GmpRouter::new()), 15, 25);
+    let grd = aggregate(&topo, &config, &|| Box::new(GrdRouter::new()), 15, 25);
+    assert!(
+        gmp.dest_hops < 1.4 * grd.dest_hops,
+        "GMP per-dest hops {} should be within 40% of GRD's {}",
+        gmp.dest_hops,
+        grd.dest_hops
+    );
+}
+
+#[test]
+fn fig12_lgs_per_destination_hops_are_clearly_worse() {
+    // "LGS does not match the others in this respect" — its sequential
+    // chains inflate per-destination hops (Figure 13).
+    let (topo, config) = paper_topology(103);
+    let gmp = aggregate(&topo, &config, &|| Box::new(GmpRouter::new()), 15, 25);
+    let lgs = aggregate(&topo, &config, &|| Box::new(LgsRouter::new()), 15, 25);
+    assert!(
+        lgs.dest_hops > 1.25 * gmp.dest_hops,
+        "LGS {} should clearly exceed GMP {}",
+        lgs.dest_hops,
+        gmp.dest_hops
+    );
+}
+
+#[test]
+fn fig14_energy_ranking_follows_hop_ranking() {
+    // Energy is transmissions × (tx + listeners·rx) × airtime, so the
+    // Fig. 14 ordering mirrors Fig. 11: GMP below PBM and GMPnr.
+    let (topo, config) = paper_topology(104);
+    let gmp = aggregate(&topo, &config, &|| Box::new(GmpRouter::new()), 12, 25);
+    let pbm = aggregate(
+        &topo,
+        &config,
+        &|| Box::new(PbmRouter::with_lambda(0.3)),
+        12,
+        25,
+    );
+    let nr = aggregate(
+        &topo,
+        &config,
+        &|| Box::new(GmpRouter::without_radio_range_awareness()),
+        12,
+        25,
+    );
+    assert!(gmp.energy < pbm.energy);
+    assert!(gmp.energy < nr.energy);
+}
+
+#[test]
+fn fig15_lgs_fails_most_in_sparse_networks() {
+    // "LGS has the largest number of failures because it assumes a valid
+    // next hop can always be found"; GMP and PBM recover via perimeter
+    // mode. Run at a genuinely sparse density where voids occur.
+    let config = SimConfig::paper()
+        .with_node_count(150)
+        .with_max_path_hops(100);
+    let mut lgs_failures = 0usize;
+    let mut gmp_failures = 0usize;
+    let mut pbm_failures = 0usize;
+    for net in 0..3u64 {
+        let topo = Topology::random(&config.topology_config(), 200 + net);
+        let lgs = aggregate(&topo, &config, &|| Box::new(LgsRouter::new()), 12, 20);
+        let gmp = aggregate(&topo, &config, &|| Box::new(GmpRouter::new()), 12, 20);
+        let pbm = aggregate(
+            &topo,
+            &config,
+            &|| Box::new(PbmRouter::with_lambda(0.3)),
+            12,
+            20,
+        );
+        lgs_failures += lgs.failures;
+        gmp_failures += gmp.failures;
+        pbm_failures += pbm.failures;
+    }
+    assert!(
+        lgs_failures > gmp_failures,
+        "LGS failures {lgs_failures} must exceed GMP's {gmp_failures}"
+    );
+    assert!(
+        lgs_failures > pbm_failures,
+        "LGS failures {lgs_failures} must exceed PBM's {pbm_failures}"
+    );
+    // GMP's recovery keeps it in PBM's league (the paper has it strictly
+    // best; we allow a small slack — see EXPERIMENTS.md).
+    assert!(
+        gmp_failures <= pbm_failures + 3,
+        "GMP failures {gmp_failures} should be comparable to PBM's {pbm_failures}"
+    );
+}
+
+#[test]
+fn multicast_beats_multiple_unicast() {
+    // The premise of the whole field: multicasting preserves network
+    // resources versus per-destination unicast, and the gap widens with k.
+    let (topo, config) = paper_topology(105);
+    let gmp25 = aggregate(&topo, &config, &|| Box::new(GmpRouter::new()), 25, 15);
+    let grd25 = aggregate(&topo, &config, &|| Box::new(GrdRouter::new()), 25, 15);
+    assert!(
+        gmp25.total_hops < 0.5 * grd25.total_hops,
+        "at k=25 GMP ({}) should use fewer than half of GRD's hops ({})",
+        gmp25.total_hops,
+        grd25.total_hops
+    );
+}
