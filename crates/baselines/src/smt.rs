@@ -90,13 +90,18 @@ impl Protocol for SmtRouter {
         };
         terminals.retain(|&t| reachable[t as usize]);
         self.tree = kmb(&graph, &terminals).map(|t| {
-            let rooted = t.rooted_at(source.0);
-            Arc::new(
-                rooted
-                    .into_iter()
-                    .map(|(k, v)| (NodeId(k), v.into_iter().map(NodeId).collect()))
-                    .collect::<HashMap<NodeId, Vec<NodeId>>>(),
-            )
+            // Vertex-indexed children lists; only reached vertices carry a
+            // (possibly empty) entry in the packet-embedded map.
+            let to_nodes = |v: &[u32]| -> Vec<NodeId> { v.iter().copied().map(NodeId).collect() };
+            let children = t.rooted_children(source.0, graph.len());
+            let mut rooted = HashMap::new();
+            rooted.insert(source, to_nodes(&children[source.index()]));
+            for ch in &children {
+                for &v in ch {
+                    rooted.insert(NodeId(v), to_nodes(&children[v as usize]));
+                }
+            }
+            Arc::new(rooted)
         });
     }
 

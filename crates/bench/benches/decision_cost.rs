@@ -6,9 +6,9 @@
 //! forwarding decision at the source for each protocol across destination
 //! counts at the paper's density.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use gmp_baselines::{LgsRouter, PbmRouter};
-use gmp_core::GmpRouter;
+use gmp_core::{group_destinations, DecisionScratch, GmpRouter};
 use gmp_net::Topology;
 use gmp_sim::{MulticastPacket, MulticastTask, NodeContext, Protocol, SimConfig};
 
@@ -44,5 +44,273 @@ fn bench_decisions(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decisions);
+/// The tentpole regression guard: one grouping decision through the reused
+/// [`DecisionScratch`] versus the allocating [`group_destinations`] (which
+/// builds every buffer from scratch) versus `seed_ref`, a faithful replica
+/// of the pre-optimization algorithm (eager ratio evaluation, dead-pair
+/// `HashSet`, fresh buffers per decision). The acceptance bar is
+/// `scratch_reuse` ≥ 2× faster than `seed_reference` at k = 25.
+fn bench_scratch_vs_fresh(c: &mut Criterion) {
+    let config = SimConfig::paper();
+    let topo = Topology::random(&config.topology_config(), 1);
+    let mut group = c.benchmark_group("decision_scratch");
+    for k in [5usize, 15, 25] {
+        let task = MulticastTask::random(&topo, k, 7);
+        // The replica must still make the exact same decisions.
+        assert_eq!(
+            seed_ref::group_destinations(&topo, task.source, &task.dests, true, None),
+            group_destinations(&topo, task.source, &task.dests, true, None),
+            "seed replica diverged from the current grouping at k={k}"
+        );
+        group.bench_with_input(BenchmarkId::new("seed_reference", k), &k, |b, _| {
+            b.iter(|| {
+                let g = seed_ref::group_destinations(&topo, task.source, &task.dests, true, None);
+                black_box(g.covered.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fresh_alloc", k), &k, |b, _| {
+            b.iter(|| {
+                let g = group_destinations(&topo, task.source, &task.dests, true, None);
+                black_box(g.covered.len())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("scratch_reuse", k), &k, |b, _| {
+            let mut scratch = DecisionScratch::new();
+            b.iter(|| {
+                let g =
+                    scratch.group_destinations_into(&topo, task.source, &task.dests, true, None);
+                black_box(g.covered.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A faithful replica of the forwarding decision as shipped in the growth
+/// seed, kept as the benchmark's fixed reference point: eager
+/// `reduction_ratio` on every heap push, a 40-byte `PairEntry` carrying the
+/// Steiner point, a `HashSet` of dead pairs consulted on every pop, and a
+/// fresh tree / heap / activity vector / destination buffers per decision.
+/// Behavior (not code) is pinned by the equality assertion above.
+mod seed_ref {
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+    use gmp_core::grouping::find_next_hop;
+    use gmp_core::{CoveredGroup, Grouping};
+    use gmp_geom::Point;
+    use gmp_net::{NodeId, Topology};
+    use gmp_steiner::tree::VertexId;
+    use gmp_steiner::{reduction_ratio, RadioRange, SteinerTree, VertexKind};
+
+    #[derive(Debug, Clone, Copy)]
+    struct PairEntry {
+        ratio: f64,
+        steiner: Point,
+        u: VertexId,
+        v: VertexId,
+    }
+
+    impl PartialEq for PairEntry {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for PairEntry {}
+    impl PartialOrd for PairEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for PairEntry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.ratio
+                .total_cmp(&other.ratio)
+                .then_with(|| other.u.cmp(&self.u))
+                .then_with(|| other.v.cmp(&self.v))
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn rrstr(source: Point, dests: &[Point], mode: RadioRange) -> SteinerTree {
+        let mut tree = SteinerTree::new(source);
+        let n = dests.len();
+        let mut active: Vec<bool> = vec![false];
+        for (i, &d) in dests.iter().enumerate() {
+            tree.add_vertex(VertexKind::Terminal(i), d);
+            active.push(true);
+        }
+
+        let mut heap: BinaryHeap<PairEntry> = BinaryHeap::new();
+        let mut dead_pairs: HashSet<(VertexId, VertexId)> = HashSet::new();
+        let push_pair =
+            |heap: &mut BinaryHeap<PairEntry>, tree: &SteinerTree, u: VertexId, v: VertexId| {
+                let (a, b) = (u.min(v), u.max(v));
+                let e = reduction_ratio(source, tree.pos(a), tree.pos(b));
+                heap.push(PairEntry {
+                    ratio: e.ratio,
+                    steiner: e.steiner.location,
+                    u: a,
+                    v: b,
+                });
+            };
+        for u in 1..=n {
+            for v in (u + 1)..=n {
+                push_pair(&mut heap, &tree, u, v);
+            }
+        }
+
+        loop {
+            let entry = loop {
+                match heap.pop() {
+                    None => break None,
+                    Some(e) => {
+                        if active[e.u] && active[e.v] && !dead_pairs.contains(&(e.u, e.v)) {
+                            break Some(e);
+                        }
+                    }
+                }
+            };
+            let Some(e) = entry else {
+                for v in 1..tree.len() {
+                    if active[v] {
+                        tree.add_edge(tree.root(), v);
+                        active[v] = false;
+                    }
+                }
+                break;
+            };
+
+            let (u, v) = (e.u, e.v);
+            let (pu, pv) = (tree.pos(u), tree.pos(v));
+            let t = e.steiner;
+
+            if t.almost_eq(source) {
+                tree.add_edge(tree.root(), u);
+                tree.add_edge(tree.root(), v);
+                active[u] = false;
+                active[v] = false;
+            } else if t.almost_eq(pu) {
+                tree.add_edge(u, v);
+                active[v] = false;
+            } else if t.almost_eq(pv) {
+                tree.add_edge(v, u);
+                active[u] = false;
+            } else if let RadioRange::Aware(rr) = mode {
+                let du = source.dist(pu);
+                let dv = source.dist(pv);
+                let spokes = du + dv;
+                let via_t = t.dist(pu) + t.dist(pv);
+                if du < rr && dv < rr {
+                    dead_pairs.insert((u, v));
+                } else if du < rr {
+                    if rr + via_t > spokes {
+                        dead_pairs.insert((u, v));
+                    } else {
+                        tree.add_edge(u, v);
+                        active[v] = false;
+                    }
+                } else if dv < rr {
+                    if rr + via_t > spokes {
+                        dead_pairs.insert((u, v));
+                    } else {
+                        tree.add_edge(v, u);
+                        active[u] = false;
+                    }
+                } else if source.dist(t) < rr && rr + via_t > spokes {
+                    tree.add_edge(tree.root(), u);
+                    tree.add_edge(tree.root(), v);
+                    active[u] = false;
+                    active[v] = false;
+                } else {
+                    create_virtual(&mut tree, &mut active, &mut heap, t, u, v, push_pair);
+                }
+            } else {
+                create_virtual(&mut tree, &mut active, &mut heap, t, u, v, push_pair);
+            }
+        }
+        tree
+    }
+
+    fn create_virtual(
+        tree: &mut SteinerTree,
+        active: &mut Vec<bool>,
+        heap: &mut BinaryHeap<PairEntry>,
+        t: Point,
+        u: VertexId,
+        v: VertexId,
+        push_pair: impl Fn(&mut BinaryHeap<PairEntry>, &SteinerTree, VertexId, VertexId),
+    ) {
+        let w = tree.add_vertex(VertexKind::Virtual, t);
+        tree.add_edge(w, u);
+        tree.add_edge(w, v);
+        active[u] = false;
+        active[v] = false;
+        active.push(true);
+        for (i, &a) in active.iter().enumerate().take(w).skip(1) {
+            if a {
+                push_pair(heap, tree, w, i);
+            }
+        }
+    }
+
+    pub fn group_destinations(
+        topo: &Topology,
+        node: NodeId,
+        dests: &[NodeId],
+        radio_range_aware: bool,
+        perimeter_entry: Option<Point>,
+    ) -> Grouping {
+        let here = topo.pos(node);
+        let mode = if radio_range_aware {
+            RadioRange::Aware(topo.radio_range())
+        } else {
+            RadioRange::Ignored
+        };
+        let dest_points: Vec<Point> = dests.iter().map(|&d| topo.pos(d)).collect();
+        let mut tree = rrstr(here, &dest_points, mode);
+
+        let mut queue: VecDeque<usize> = tree.children(tree.root()).to_vec().into();
+        let mut out = Grouping::default();
+
+        while let Some(pivot) = queue.pop_front() {
+            loop {
+                let terminal_idx = tree.terminals_in_subtree(pivot);
+                if terminal_idx.is_empty() {
+                    break;
+                }
+                let group: Vec<NodeId> = terminal_idx.iter().map(|&i| dests[i]).collect();
+                let pivot_pos = tree.pos(pivot);
+                if let Some(n) = find_next_hop(topo, node, pivot_pos, &group, perimeter_entry) {
+                    out.covered.push(CoveredGroup {
+                        dests: group,
+                        next_hop: n,
+                    });
+                    break;
+                }
+                if tree.children(pivot).is_empty() {
+                    if let VertexKind::Terminal(i) = tree.kind(pivot) {
+                        out.voids.push(dests[i])
+                    }
+                    break;
+                }
+                let last = tree
+                    .detach_last_child(pivot)
+                    .expect("children checked non-empty");
+                tree.reattach_to_root(last);
+                queue.push_back(last);
+                if tree.children(pivot).len() == 1 && tree.is_virtual(pivot) {
+                    let only = tree.detach_last_child(pivot).expect("one child");
+                    tree.reattach_to_root(only);
+                    queue.push_back(only);
+                    break;
+                }
+            }
+        }
+        out.voids.sort();
+        out
+    }
+}
+
+criterion_group!(benches, bench_decisions, bench_scratch_vs_fresh);
 criterion_main!(benches);

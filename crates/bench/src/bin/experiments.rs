@@ -27,22 +27,55 @@
 //!
 //! or `all` for everything. Results are printed as tables and written as
 //! CSV (plus SVG charts for the figures) under `--out` (default
-//! `results/`).
+//! `results/`). `--threads N` caps the worker pool (default: all cores).
+//!
+//! `bench` is different: it runs the fixed perf workload and writes
+//! `BENCH_1.json` (decisions/sec, tasks/sec, wall-clock, allocs/decision)
+//! under `--out` — the machine-readable perf trajectory described in
+//! EXPERIMENTS.md. Run it from a `--release` build.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use gmp_bench::chart::LineChart;
 use gmp_bench::experiments::{
-    density_sweep, destination_sweep, loss_sweep, mac_tax, mobility_ablation,
-    overhead_ablation,
-    pbm_sensitivity, planar_ablation, power_ablation, range_sweep, tree_length_ablation, Scale,
-    SweepRow,
+    density_sweep, destination_sweep, loss_sweep, mac_tax, mobility_ablation, overhead_ablation,
+    pbm_sensitivity, planar_ablation, power_ablation, range_sweep, set_worker_threads,
+    tree_length_ablation, Scale, SweepRow,
 };
 use gmp_bench::protocols::ProtocolKind;
 use gmp_bench::table::{render_table, write_csv};
 use gmp_sim::SimConfig;
+
+/// Counts heap allocations so the `bench` command can report
+/// allocs/decision from a real run (the same metric the
+/// `alloc_free` integration test asserts to be zero). A relaxed
+/// fetch-add per allocation is noise for every other command.
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn sweep_protocols() -> Vec<ProtocolKind> {
     vec![
@@ -88,12 +121,14 @@ struct Args {
     command: String,
     scale: Scale,
     out: PathBuf,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut command = None;
     let mut scale = Scale::standard();
     let mut out = PathBuf::from("results");
+    let mut threads = 0usize;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -103,6 +138,12 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
             }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                threads = n
+                    .parse()
+                    .map_err(|_| format!("invalid thread count: {n}"))?;
+            }
             c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -111,6 +152,7 @@ fn parse_args() -> Result<Args, String> {
         command: command.unwrap_or_else(|| "all".into()),
         scale,
         out,
+        threads,
     })
 }
 
@@ -596,18 +638,99 @@ fn run_loss(args: &Args) {
     }
 }
 
+/// The fixed perf workload behind `BENCH_1.json`: steady-state forwarding
+/// decisions through one warmed [`gmp_core::DecisionScratch`], full
+/// multicast tasks through the simulator, and the allocation counter
+/// sampled around the decision loop.
+fn run_bench(args: &Args) {
+    use gmp_core::DecisionScratch;
+    use gmp_net::Topology;
+    use gmp_sim::MulticastTask;
+
+    let wall_start = Instant::now();
+    let config = SimConfig::paper();
+    let topo = Topology::random(&config.topology_config(), 1);
+    let ks = [5usize, 15, 25];
+    let tasks: Vec<MulticastTask> = (0..30)
+        .map(|i| MulticastTask::random(&topo, ks[i % ks.len()], 100 + i as u64))
+        .collect();
+
+    // Per-hop decision throughput at the source. Two warm-up passes grow
+    // the scratch to its high-water capacities; the measured passes then
+    // run allocation-free (the `alloc_free` test asserts exactly this).
+    eprintln!(
+        "bench: decision throughput over {} tasks, k ∈ {ks:?}…",
+        tasks.len()
+    );
+    let mut scratch = DecisionScratch::new();
+    for _ in 0..2 {
+        for t in &tasks {
+            scratch.group_destinations_into(&topo, t.source, &t.dests, true, None);
+        }
+    }
+    let rounds = 300usize;
+    let allocs_before = ALLOCS.load(Ordering::SeqCst);
+    let t0 = Instant::now();
+    let mut covered = 0usize;
+    for _ in 0..rounds {
+        for t in &tasks {
+            let g = scratch.group_destinations_into(&topo, t.source, &t.dests, true, None);
+            covered += g.covered.len();
+        }
+    }
+    let decision_secs = t0.elapsed().as_secs_f64();
+    let allocs_after = ALLOCS.load(Ordering::SeqCst);
+    let decisions = rounds * tasks.len();
+    let decisions_per_sec = decisions as f64 / decision_secs;
+    let allocs_per_decision = (allocs_after - allocs_before) as f64 / decisions as f64;
+    assert!(covered > 0, "decision workload routed nothing");
+
+    // End-to-end task throughput: the whole simulator loop (routing at
+    // every hop, delivery bookkeeping, energy accounting).
+    eprintln!("bench: end-to-end task throughput…");
+    let task_rounds = 10usize;
+    let t0 = Instant::now();
+    let mut delivered = 0usize;
+    for _ in 0..task_rounds {
+        for t in &tasks {
+            let report = ProtocolKind::Gmp.run_task(&topo, &config, t);
+            delivered += usize::from(report.delivered_all());
+        }
+    }
+    let task_secs = t0.elapsed().as_secs_f64();
+    let task_count = task_rounds * tasks.len();
+    let tasks_per_sec = task_count as f64 / task_secs;
+    assert!(delivered > 0, "task workload delivered nothing");
+
+    let wall_clock_s = wall_start.elapsed().as_secs_f64();
+    let json = format!(
+        "{{\n  \"schema\": \"gmp-bench/1\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k_values\": [5, 15, 25],\n    \"decision_samples\": {decisions},\n    \"task_samples\": {task_count}\n  }},\n  \"decisions_per_sec\": {decisions_per_sec:.1},\n  \"tasks_per_sec\": {tasks_per_sec:.1},\n  \"wall_clock_s\": {wall_clock_s:.3},\n  \"allocs_per_decision\": {allocs_per_decision:.4}\n}}\n",
+        config.node_count,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("warning: could not create {}: {e}", args.out.display());
+    }
+    let path = args.out.join("BENCH_1.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax> \
-                 [--quick|--standard|--paper] [--out DIR]"
+                "usage: experiments <all|bench|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax> \
+                 [--quick|--standard|--paper] [--threads N] [--out DIR]"
             );
             return ExitCode::FAILURE;
         }
     };
+    set_worker_threads(args.threads);
     match args.command.as_str() {
         "all" => {
             run_sweep_figures(&args, &["fig11", "fig12", "fig14", "figlatency"]);
@@ -638,6 +761,7 @@ fn main() -> ExitCode {
         "fig15" => run_fig15(&args),
         "overhead" => run_overhead(&args),
         "treelen" => run_treelen(&args),
+        "bench" => run_bench(&args),
         other => {
             eprintln!("unknown command: {other}");
             return ExitCode::FAILURE;

@@ -9,7 +9,6 @@ use gmp_net::Topology;
 use gmp_sim::{MulticastTask, SimConfig};
 use gmp_steiner::mst::euclidean_mst;
 use gmp_steiner::rrstr::{rrstr, RadioRange};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,7 +96,20 @@ pub struct DensityRow {
     pub failed_per_1000: f64,
 }
 
-/// Simple work-stealing parallel map preserving input order.
+/// Worker-thread override for [`parallel_map`]; 0 means "use
+/// `available_parallelism`". Set from the `experiments` binary's
+/// `--threads` flag.
+static WORKER_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the number of worker threads used by the experiment sweeps.
+/// `0` restores the default (`available_parallelism`).
+pub fn set_worker_threads(n: usize) {
+    WORKER_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Simple work-stealing parallel map preserving input order. Workers
+/// stream `(index, result)` pairs over a channel; the caller thread
+/// assembles them, so no worker ever blocks on a shared results lock.
 fn parallel_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
 where
     J: Send + Sync,
@@ -105,27 +117,40 @@ where
     F: Fn(&J) -> R + Sync,
 {
     let n = jobs.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
+    let workers = match WORKER_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4),
+        n => n,
+    }
+    .min(n.max(1));
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     crossbeam::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            let tx = tx.clone();
+            scope.spawn(|_| {
+                let tx = tx;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(&jobs[i]);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
                 }
-                let r = f(&jobs[i]);
-                results.lock()[i] = Some(r);
             });
+        }
+        drop(tx);
+        for (i, r) in rx.iter() {
+            results[i] = Some(r);
         }
     })
     .expect("worker panicked");
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("job completed"))
         .collect()

@@ -23,8 +23,7 @@ pub mod table;
 
 pub use chart::LineChart;
 pub use experiments::{
-    density_sweep, destination_sweep, loss_sweep, mac_tax, mobility_ablation,
-    overhead_ablation,
+    density_sweep, destination_sweep, loss_sweep, mac_tax, mobility_ablation, overhead_ablation,
     pbm_sensitivity, planar_ablation, power_ablation, range_sweep, tree_length_ablation,
     DensityRow, Scale, SweepRow,
 };

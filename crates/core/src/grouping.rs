@@ -5,8 +5,8 @@ use std::collections::VecDeque;
 
 use gmp_geom::Point;
 use gmp_net::{NodeId, Topology};
-use gmp_steiner::rrstr::{rrstr, RadioRange};
-use gmp_steiner::tree::VertexKind;
+use gmp_steiner::rrstr::{rrstr_into, RadioRange, RrstrScratch};
+use gmp_steiner::tree::{SteinerTree, VertexId, VertexKind};
 
 /// One destination group that found a valid next hop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +26,153 @@ pub struct Grouping {
     /// strictly smaller distance: the *void* destinations that will travel
     /// in one perimeter-mode packet.
     pub voids: Vec<NodeId>,
+}
+
+/// Reusable working state for the per-packet forwarding decision: the
+/// Steiner tree, the rrSTR scratch, every traversal buffer of the
+/// Figure 7 grouping loop, and a pool of recycled destination vectors.
+///
+/// A router owns one of these and threads it through
+/// [`DecisionScratch::group_destinations_into`]; after a warm-up decision
+/// of comparable size, subsequent decisions allocate nothing.
+#[derive(Debug, Clone)]
+pub struct DecisionScratch {
+    tree: SteinerTree,
+    rrstr: RrstrScratch,
+    dest_points: Vec<Point>,
+    queue: VecDeque<VertexId>,
+    terminal_idx: Vec<usize>,
+    walk: Vec<VertexId>,
+    candidate: Vec<NodeId>,
+    /// Emptied destination vectors recycled between decisions so covered
+    /// groups never reallocate in steady state.
+    group_pool: Vec<Vec<NodeId>>,
+    /// The previous decision's output, recycled on the next call.
+    grouping: Grouping,
+}
+
+impl Default for DecisionScratch {
+    fn default() -> Self {
+        DecisionScratch {
+            tree: SteinerTree::new(Point::ORIGIN),
+            rrstr: RrstrScratch::new(),
+            dest_points: Vec::new(),
+            queue: VecDeque::new(),
+            terminal_idx: Vec::new(),
+            walk: Vec::new(),
+            candidate: Vec::new(),
+            group_pool: Vec::new(),
+            grouping: Grouping::default(),
+        }
+    }
+}
+
+impl DecisionScratch {
+    /// Fresh, empty working state.
+    pub fn new() -> Self {
+        DecisionScratch::default()
+    }
+
+    /// Runs [`group_destinations`] through this scratch, returning the
+    /// grouping by reference. Output is bit-identical to the allocating
+    /// function; in steady state the call performs zero allocations.
+    pub fn group_destinations_into(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+        dests: &[NodeId],
+        radio_range_aware: bool,
+        perimeter_entry: Option<Point>,
+    ) -> &Grouping {
+        // Recycle the previous decision's group vectors before clearing.
+        for mut g in self.grouping.covered.drain(..) {
+            g.dests.clear();
+            self.group_pool.push(g.dests);
+        }
+        self.grouping.voids.clear();
+
+        debug_assert!(!dests.contains(&node), "self must be stripped first");
+        let here = topo.pos(node);
+        let rr = topo.radio_range();
+        let mode = if radio_range_aware {
+            RadioRange::Aware(rr)
+        } else {
+            RadioRange::Ignored
+        };
+        self.dest_points.clear();
+        self.dest_points.extend(dests.iter().map(|&d| topo.pos(d)));
+        rrstr_into(
+            here,
+            &self.dest_points,
+            mode,
+            &mut self.tree,
+            &mut self.rrstr,
+        );
+        let tree = &mut self.tree;
+
+        self.queue.clear();
+        self.queue
+            .extend(tree.children(tree.root()).iter().copied());
+
+        while let Some(pivot) = self.queue.pop_front() {
+            // The Section 4.1 inner loop: keep splitting this pivot until a
+            // next hop is found or it degenerates to a single void terminal.
+            loop {
+                tree.terminals_in_subtree_into(pivot, &mut self.terminal_idx, &mut self.walk);
+                if self.terminal_idx.is_empty() {
+                    // A virtual vertex stripped of all terminals carries no
+                    // routing obligation.
+                    break;
+                }
+                self.candidate.clear();
+                self.candidate
+                    .extend(self.terminal_idx.iter().map(|&i| dests[i]));
+                let pivot_pos = tree.pos(pivot);
+                if let Some(n) =
+                    find_next_hop(topo, node, pivot_pos, &self.candidate, perimeter_entry)
+                {
+                    let mut group = self.group_pool.pop().unwrap_or_default();
+                    group.extend_from_slice(&self.candidate);
+                    self.grouping.covered.push(CoveredGroup {
+                        dests: group,
+                        next_hop: n,
+                    });
+                    break;
+                }
+                // No valid next hop. If the pivot is a bare terminal, it is
+                // a void destination.
+                if tree.children(pivot).is_empty() {
+                    if let VertexKind::Terminal(i) = tree.kind(pivot) {
+                        self.grouping.voids.push(dests[i])
+                    }
+                    break;
+                }
+                // Split: detach the last child and promote it to a pivot.
+                let last = tree
+                    .detach_last_child(pivot)
+                    .expect("children checked non-empty");
+                tree.reattach_to_root(last);
+                self.queue.push_back(last);
+                // If a *virtual* pivot is left with a single child, bypass it.
+                if tree.children(pivot).len() == 1 && tree.is_virtual(pivot) {
+                    let only = tree.detach_last_child(pivot).expect("one child");
+                    tree.reattach_to_root(only);
+                    self.queue.push_back(only);
+                    break; // the virtual pivot is dropped
+                }
+                // Otherwise continue with the same (smaller) pivot.
+            }
+        }
+        self.grouping.voids.sort();
+        &self.grouping
+    }
+
+    /// Mutable access to the last decision, for the emit step (which
+    /// merges groups in place and moves the void list into the perimeter
+    /// packet).
+    pub(crate) fn grouping_mut(&mut self) -> &mut Grouping {
+        &mut self.grouping
+    }
 }
 
 /// Splits `dests` into groups at node `node` and selects a next hop per
@@ -64,65 +211,9 @@ pub fn group_destinations(
     radio_range_aware: bool,
     perimeter_entry: Option<Point>,
 ) -> Grouping {
-    debug_assert!(!dests.contains(&node), "self must be stripped first");
-    let here = topo.pos(node);
-    let rr = topo.radio_range();
-    let mode = if radio_range_aware {
-        RadioRange::Aware(rr)
-    } else {
-        RadioRange::Ignored
-    };
-    let dest_points: Vec<Point> = dests.iter().map(|&d| topo.pos(d)).collect();
-    let mut tree = rrstr(here, &dest_points, mode);
-
-    let mut queue: VecDeque<usize> = tree.children(tree.root()).iter().copied().collect();
-    let mut out = Grouping::default();
-
-    while let Some(pivot) = queue.pop_front() {
-        // The Section 4.1 inner loop: keep splitting this pivot until a
-        // next hop is found or it degenerates to a single void terminal.
-        loop {
-            let terminal_idx = tree.terminals_in_subtree(pivot);
-            if terminal_idx.is_empty() {
-                // A virtual vertex stripped of all terminals carries no
-                // routing obligation.
-                break;
-            }
-            let group: Vec<NodeId> = terminal_idx.iter().map(|&i| dests[i]).collect();
-            let pivot_pos = tree.pos(pivot);
-            if let Some(n) = find_next_hop(topo, node, pivot_pos, &group, perimeter_entry) {
-                out.covered.push(CoveredGroup {
-                    dests: group,
-                    next_hop: n,
-                });
-                break;
-            }
-            // No valid next hop. If the pivot is a bare terminal, it is a
-            // void destination.
-            if tree.children(pivot).is_empty() {
-                if let VertexKind::Terminal(i) = tree.kind(pivot) {
-                    out.voids.push(dests[i])
-                }
-                break;
-            }
-            // Split: detach the last child and promote it to a pivot.
-            let last = tree
-                .detach_last_child(pivot)
-                .expect("children checked non-empty");
-            tree.reattach_to_root(last);
-            queue.push_back(last);
-            // If a *virtual* pivot is left with a single child, bypass it.
-            if tree.children(pivot).len() == 1 && tree.is_virtual(pivot) {
-                let only = tree.detach_last_child(pivot).expect("one child");
-                tree.reattach_to_root(only);
-                queue.push_back(only);
-                break; // the virtual pivot is dropped
-            }
-            // Otherwise continue with the same (smaller) pivot.
-        }
-    }
-    out.voids.sort();
-    out
+    let mut scratch = DecisionScratch::new();
+    scratch.group_destinations_into(topo, node, dests, radio_range_aware, perimeter_entry);
+    std::mem::take(&mut scratch.grouping)
 }
 
 /// The Figure 7 next-hop rule for one group.

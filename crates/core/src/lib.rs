@@ -42,5 +42,5 @@ pub mod grouping;
 pub mod router;
 
 pub use geocast::GmpGeocast;
-pub use grouping::{group_destinations, Grouping};
+pub use grouping::{group_destinations, CoveredGroup, DecisionScratch, Grouping};
 pub use router::{GmpConfig, GmpRouter};

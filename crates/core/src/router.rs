@@ -5,7 +5,7 @@ use gmp_net::face::perimeter_next_hop;
 use gmp_net::PerimeterState;
 use gmp_sim::{Forward, MulticastPacket, NodeContext, Protocol, RoutingState};
 
-use crate::grouping::{group_destinations, Grouping};
+use crate::grouping::{DecisionScratch, Grouping};
 
 /// Configuration of the GMP router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,104 +32,113 @@ impl Default for GmpConfig {
 
 /// The Geographic Multicast routing Protocol.
 ///
-/// Stateless across packets: every forwarding decision is recomputed from
-/// the packet's destination list and the node's local neighborhood.
+/// Stateless across packets — every forwarding decision is recomputed
+/// from the packet's destination list and the node's local neighborhood.
+/// The router does carry a [`DecisionScratch`], but that is pure working
+/// memory: it never influences a decision, it only lets the steady-state
+/// hot path run without allocating.
 #[derive(Debug, Clone, Default)]
 pub struct GmpRouter {
     config: GmpConfig,
+    scratch: DecisionScratch,
 }
 
 impl GmpRouter {
     /// The full protocol (radio-range-aware rrSTR).
     pub fn new() -> Self {
-        GmpRouter {
-            config: GmpConfig::default(),
-        }
+        GmpRouter::with_config(GmpConfig::default())
     }
 
     /// The GMPnr ablation: radio-range-aware decisions turned off.
     pub fn without_radio_range_awareness() -> Self {
-        GmpRouter {
-            config: GmpConfig {
-                radio_range_aware: false,
-                ..GmpConfig::default()
-            },
-        }
+        GmpRouter::with_config(GmpConfig {
+            radio_range_aware: false,
+            ..GmpConfig::default()
+        })
     }
 
     /// A router with an explicit configuration (ablation entry point).
     pub fn with_config(config: GmpConfig) -> Self {
-        GmpRouter { config }
+        GmpRouter {
+            config,
+            scratch: DecisionScratch::new(),
+        }
     }
 
     /// The router's configuration.
     pub fn config(&self) -> GmpConfig {
         self.config
     }
+}
 
-    /// Builds the forwards for the covered groups and, if needed, one
-    /// perimeter-mode copy for the void destinations.
-    fn emit(
-        &self,
-        ctx: &NodeContext<'_>,
-        packet: &MulticastPacket,
-        grouping: Grouping,
-        prior_perimeter: Option<PerimeterState>,
-    ) -> Vec<Forward> {
-        let mut covered = grouping.covered.clone();
-        if self.config.merge_same_next_hop {
-            // Coalesce groups sharing a next hop into one copy.
-            covered.sort_by_key(|g| g.next_hop);
-            covered.dedup_by(|b, a| {
-                if a.next_hop == b.next_hop {
-                    a.dests.append(&mut b.dests);
-                    a.dests.sort();
-                    true
-                } else {
-                    false
-                }
-            });
-        }
-        let mut out: Vec<Forward> = covered
-            .iter()
-            .map(|g| Forward {
-                // Step 4 of Figure 7: a found next hop clears PERIMODE.
-                next_hop: g.next_hop,
-                packet: packet.split(g.dests.clone(), RoutingState::Greedy),
-            })
-            .collect();
-
-        if grouping.voids.is_empty() {
-            return out;
-        }
-
-        // Section 4.1: all void destinations travel as ONE perimeter group.
-        let mut state = match (&prior_perimeter, grouping.covered.is_empty()) {
-            // "If no valid next hop can be found for any of the groups, the
-            // packet remains in perimeter mode with the same previous
-            // average destination."
-            (Some(prev), true) => *prev,
-            // Fresh perimeter round (or partially-covered: "a new perimeter
-            // group will replace uncovered groups and a new average
-            // destination location is calculated").
-            _ => {
-                let avg = Point::centroid(grouping.voids.iter().map(|&d| ctx.pos_of(d)))
-                    .expect("voids non-empty");
-                PerimeterState::enter(ctx.pos(), avg)
+/// Builds the forwards for the covered groups and, if needed, one
+/// perimeter-mode copy for the void destinations. Operates on the
+/// grouping in place: merging coalesces the covered list, and the void
+/// list is moved into the perimeter packet.
+fn emit(
+    config: GmpConfig,
+    ctx: &NodeContext<'_>,
+    packet: &MulticastPacket,
+    grouping: &mut Grouping,
+    prior_perimeter: Option<PerimeterState>,
+) -> Vec<Forward> {
+    let had_covered = !grouping.covered.is_empty();
+    if config.merge_same_next_hop {
+        // Coalesce groups sharing a next hop into one copy.
+        grouping.covered.sort_by_key(|g| g.next_hop);
+        grouping.covered.dedup_by(|b, a| {
+            if a.next_hop == b.next_hop {
+                a.dests.append(&mut b.dests);
+                a.dests.sort();
+                true
+            } else {
+                false
             }
-        };
-        match perimeter_next_hop(ctx.topo, ctx.planar_kind(), ctx.node, &mut state) {
-            Ok(next_hop) => out.push(Forward {
-                next_hop,
-                packet: packet.split(grouping.voids, RoutingState::Perimeter(state)),
-            }),
-            Err(_) => {
-                // Unreachable void destinations: the copy dies here and the
-                // runner records them as failed.
-            }
-        }
-        out
+        });
     }
+    let mut out: Vec<Forward> = grouping
+        .covered
+        .iter()
+        .map(|g| Forward {
+            // Step 4 of Figure 7: a found next hop clears PERIMODE.
+            next_hop: g.next_hop,
+            packet: packet.split(g.dests.clone(), RoutingState::Greedy),
+        })
+        .collect();
+
+    if grouping.voids.is_empty() {
+        return out;
+    }
+
+    // Section 4.1: all void destinations travel as ONE perimeter group.
+    let mut state = match (&prior_perimeter, had_covered) {
+        // "If no valid next hop can be found for any of the groups, the
+        // packet remains in perimeter mode with the same previous
+        // average destination."
+        (Some(prev), false) => *prev,
+        // Fresh perimeter round (or partially-covered: "a new perimeter
+        // group will replace uncovered groups and a new average
+        // destination location is calculated").
+        _ => {
+            let avg = Point::centroid(grouping.voids.iter().map(|&d| ctx.pos_of(d)))
+                .expect("voids non-empty");
+            PerimeterState::enter(ctx.pos(), avg)
+        }
+    };
+    match perimeter_next_hop(ctx.topo, ctx.planar_kind(), ctx.node, &mut state) {
+        Ok(next_hop) => out.push(Forward {
+            next_hop,
+            packet: packet.split(
+                std::mem::take(&mut grouping.voids),
+                RoutingState::Perimeter(state),
+            ),
+        }),
+        Err(_) => {
+            // Unreachable void destinations: the copy dies here and the
+            // runner records them as failed.
+        }
+    }
+    out
 }
 
 impl Protocol for GmpRouter {
@@ -152,14 +161,20 @@ impl Protocol for GmpRouter {
         // perimeter packet the exit must also beat the entry point's total
         // distance (GPSR's progress rule), or the packet would bounce
         // straight back into the void.
-        let grouping = group_destinations(
+        self.scratch.group_destinations_into(
             ctx.topo,
             ctx.node,
             &packet.dests,
             self.config.radio_range_aware,
             prior.map(|p| p.entry),
         );
-        self.emit(ctx, &packet, grouping, prior)
+        emit(
+            self.config,
+            ctx,
+            &packet,
+            self.scratch.grouping_mut(),
+            prior,
+        )
     }
 }
 

@@ -1,0 +1,45 @@
+//! Parity proptest for the allocation-free hot path: a [`DecisionScratch`]
+//! reused across many decisions must produce bit-identical groupings to the
+//! allocating [`group_destinations`] — same covered groups in the same order,
+//! same void lists — over random topologies, transmitting nodes, destination
+//! sets, radio modes, and perimeter entries.
+
+use gmp_core::{group_destinations, DecisionScratch};
+use gmp_geom::Point;
+use gmp_net::Topology;
+use gmp_sim::{MulticastTask, SimConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn reused_scratch_matches_fresh_grouping(
+        nodes in 150usize..400,
+        seed in 0u64..500,
+        runs in proptest::collection::vec(
+            (
+                2usize..15,
+                0u64..1000,
+                proptest::bool::ANY,
+                proptest::bool::ANY,
+                (0.0..700.0f64, 0.0..700.0f64),
+            ),
+            1..8,
+        ),
+    ) {
+        let config = SimConfig::paper().with_node_count(nodes);
+        let topo = Topology::random(&config.topology_config(), seed);
+        // ONE scratch across every run: the whole point is that state left
+        // behind by decision N must not leak into decision N+1.
+        let mut scratch = DecisionScratch::new();
+        for (k, task_seed, rra, perim, (px, py)) in runs {
+            let task = MulticastTask::random(&topo, k, task_seed);
+            let entry = perim.then(|| Point::new(px, py));
+            let fresh = group_destinations(&topo, task.source, &task.dests, rra, entry);
+            let reused =
+                scratch.group_destinations_into(&topo, task.source, &task.dests, rra, entry);
+            prop_assert_eq!(reused, &fresh);
+        }
+    }
+}

@@ -102,7 +102,7 @@ proptest! {
     }
 
     #[test]
-    fn rotation_preserves_fermat_totals(a in pt(), b in pt(), c in pt(), ang in 0.0..6.28f64) {
+    fn rotation_preserves_fermat_totals(a in pt(), b in pt(), c in pt(), ang in 0.0..std::f64::consts::TAU) {
         let t1 = fermat_point(a, b, c);
         let total1 = t1.total_length(a, b, c);
         let center = Point::new(10.0, -20.0);

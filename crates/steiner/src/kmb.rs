@@ -16,7 +16,7 @@
 //! adjacency list `&[Vec<(u32, f64)>]` so it works for any substrate.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap};
 
 /// A Steiner tree over graph vertices.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,36 +33,64 @@ impl KmbTree {
     ///
     /// The SMT baseline embeds exactly this structure in its packets.
     pub fn rooted_at(&self, root: u32) -> HashMap<u32, Vec<u32>> {
-        let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
-        for &(u, v) in &self.edges {
-            adj.entry(u).or_default().push(v);
-            adj.entry(v).or_default().push(u);
+        let n = self.vertex_id_bound(root);
+        let children = self.rooted_children(root, n);
+        let mut out = HashMap::new();
+        out.insert(root, children[root as usize].clone());
+        for ch in &children {
+            for &v in ch {
+                out.insert(v, children[v as usize].clone());
+            }
         }
-        let mut children: HashMap<u32, Vec<u32>> = HashMap::new();
-        let mut seen = HashSet::from([root]);
+        out
+    }
+
+    /// [`KmbTree::rooted_at`] with vertex-indexed storage: `children[v]`
+    /// for every `v < n`, where `n` bounds the graph's vertex ids.
+    /// Vertices not reached from `root` simply have empty lists (and never
+    /// appear as anyone's child). This is the hot-path form — one `Vec`
+    /// per vertex, no hashing.
+    pub fn rooted_children(&self, root: u32, n: usize) -> Vec<Vec<u32>> {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in &self.edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut seen = vec![false; n];
+        seen[root as usize] = true;
         let mut stack = vec![root];
-        children.entry(root).or_default();
         while let Some(u) = stack.pop() {
-            if let Some(ns) = adj.get(&u) {
-                for &v in ns {
-                    if seen.insert(v) {
-                        children.entry(u).or_default().push(v);
-                        children.entry(v).or_default();
-                        stack.push(v);
-                    }
+            for &v in &adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    children[u as usize].push(v);
+                    stack.push(v);
                 }
             }
         }
         children
     }
 
+    /// An exclusive upper bound on the vertex ids used by the tree (and
+    /// `root`).
+    fn vertex_id_bound(&self, root: u32) -> usize {
+        self.edges
+            .iter()
+            .map(|&(u, v)| u.max(v))
+            .fold(root, u32::max) as usize
+            + 1
+    }
+
     /// Number of vertices spanned by the tree.
     pub fn vertex_count(&self) -> usize {
-        let mut s = HashSet::new();
+        let mut s: Vec<u32> = Vec::with_capacity(self.edges.len() * 2);
         for &(u, v) in &self.edges {
-            s.insert(u);
-            s.insert(v);
+            s.push(u);
+            s.push(v);
         }
+        s.sort_unstable();
+        s.dedup();
         s.len()
     }
 }
@@ -186,17 +214,19 @@ pub fn kmb(graph: &[Vec<(u32, f64)>], terminals: &[u32]) -> Option<KmbTree> {
     let tmst = kruskal(terminals.len(), tedges);
 
     // Step 3: expand MST edges into real shortest paths.
-    let mut sub_edges: HashSet<(u32, u32)> = HashSet::new();
+    let mut sub_edges: Vec<(u32, u32)> = Vec::new();
     for &(_, ti, tj) in &tmst {
         // Walk predecessors from terminal j back to terminal i using the
         // Dijkstra run rooted at terminal i.
         let (_, prev) = &sp[ti as usize];
         let mut cur = terminals[tj as usize];
         while let Some(p) = prev[cur as usize] {
-            sub_edges.insert((p.min(cur), p.max(cur)));
+            sub_edges.push((p.min(cur), p.max(cur)));
             cur = p;
         }
     }
+    sub_edges.sort_unstable();
+    sub_edges.dedup();
 
     // Step 4: MST of the expanded subgraph.
     let weight_of = |u: u32, v: u32| -> f64 {
@@ -212,35 +242,41 @@ pub fn kmb(graph: &[Vec<(u32, f64)>], terminals: &[u32]) -> Option<KmbTree> {
         .collect();
     let smst = kruskal(graph.len(), sub_list);
 
-    // Step 5: prune non-terminal leaves.
-    let terminal_set: HashSet<u32> = terminals.iter().copied().collect();
-    let mut adj: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
-    for &(w, u, v) in &smst {
-        adj.entry(u).or_default().push((v, w));
-        adj.entry(v).or_default().push((u, w));
+    // Step 5: prune non-terminal leaves. Vertex-indexed adjacency plus an
+    // `in_tree` membership mask replace the HashMap/HashSet pair; pruning is
+    // confluent, so the worklist order does not affect the fixpoint. The
+    // deterministic final iteration also makes the float summation order (and
+    // thus `total_weight`) reproducible across runs.
+    let mut is_terminal = vec![false; graph.len()];
+    for &t in &terminals {
+        is_terminal[t as usize] = true;
     }
-    loop {
-        let leaves: Vec<u32> = adj
-            .iter()
-            .filter(|(v, ns)| ns.len() <= 1 && !terminal_set.contains(v))
-            .map(|(&v, _)| v)
-            .collect();
-        if leaves.is_empty() {
-            break;
+    let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); graph.len()];
+    let mut in_tree = vec![false; graph.len()];
+    for &(w, u, v) in &smst {
+        adj[u as usize].push((v, w));
+        adj[v as usize].push((u, w));
+        in_tree[u as usize] = true;
+        in_tree[v as usize] = true;
+    }
+    let mut work: Vec<u32> = (0..graph.len() as u32)
+        .filter(|&v| in_tree[v as usize])
+        .collect();
+    while let Some(v) = work.pop() {
+        let v = v as usize;
+        if !in_tree[v] || is_terminal[v] || adj[v].len() > 1 {
+            continue;
         }
-        for leaf in leaves {
-            if let Some(ns) = adj.remove(&leaf) {
-                for (n, _) in ns {
-                    if let Some(list) = adj.get_mut(&n) {
-                        list.retain(|&(x, _)| x != leaf);
-                    }
-                }
-            }
+        in_tree[v] = false;
+        for (n, _) in std::mem::take(&mut adj[v]) {
+            adj[n as usize].retain(|&(x, _)| x != v as u32);
+            work.push(n);
         }
     }
     let mut edges = Vec::new();
     let mut total = 0.0;
-    for (&u, ns) in &adj {
+    for (u, ns) in adj.iter().enumerate() {
+        let u = u as u32;
         for &(v, w) in ns {
             if u < v {
                 edges.push((u, v));
@@ -258,6 +294,7 @@ pub fn kmb(graph: &[Vec<(u32, f64)>], terminals: &[u32]) -> Option<KmbTree> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     /// Unweighted grid graph helper: `cols × rows`, unit edge weights.
     fn grid_graph(cols: usize, rows: usize) -> Vec<Vec<(u32, f64)>> {
@@ -302,6 +339,20 @@ mod tests {
         let rooted = tree.rooted_at(0);
         assert!(rooted.contains_key(&4));
         assert!(rooted.contains_key(&20));
+    }
+
+    #[test]
+    fn rooted_children_matches_rooted_at() {
+        let g = grid_graph(5, 5);
+        let tree = kmb(&g, &[0, 4, 20, 24]).unwrap();
+        let map = tree.rooted_at(0);
+        let vecs = tree.rooted_children(0, g.len());
+        for v in 0..g.len() as u32 {
+            match map.get(&v) {
+                Some(cs) => assert_eq!(cs, &vecs[v as usize], "children of {v}"),
+                None => assert!(vecs[v as usize].is_empty(), "unreached {v} has children"),
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,6 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 use gmp_geom::Point;
 
@@ -41,12 +40,30 @@ pub enum RadioRange {
 
 /// A candidate pair in the priority queue. Ordered by reduction ratio with
 /// vertex ids as a deterministic tiebreak.
+///
+/// Invalidation needs no per-pair bookkeeping at all: every unordered pair
+/// enters the queue at most once (the initial double loop, or once against
+/// a brand-new virtual vertex), and within a run a vertex is deactivated
+/// at most once and never reactivated — so a popped entry is valid iff
+/// both endpoints are still active, and a dropped entry is retired for
+/// good simply by not re-queuing it.
+///
+/// Pairs enter the queue with a cheap *upper bound* on their ratio
+/// (`exact == false`); the exact ratio is only computed when the entry
+/// surfaces while both endpoints are still active, at which point it is
+/// either taken immediately (if it still beats the queue) or re-queued as
+/// `exact == true`. Most pairs go stale before ever surfacing, so they
+/// never pay for a Fermat evaluation. Vertex ids are `u16` and the
+/// Steiner point is not stored (it is recomputed for the handful of
+/// entries that win the queue), keeping the entry at 16 bytes: the merge
+/// loop is dominated by heap sifts, and halving the entry halves the
+/// memory they move.
 #[derive(Debug, Clone, Copy)]
 struct PairEntry {
     ratio: f64,
-    steiner: Point,
-    u: VertexId,
-    v: VertexId,
+    u: u16,
+    v: u16,
+    exact: bool,
 }
 
 impl PartialEq for PairEntry {
@@ -69,6 +86,68 @@ impl Ord for PairEntry {
     }
 }
 
+/// Reusable working state for [`rrstr_into`].
+///
+/// The pair priority queue is split in two. The O(k²) initial pairs are
+/// known up front, so they live in a vector sorted once in descending
+/// priority order and consumed through a cursor: taking the next one is a
+/// cursor bump, and — crucially — skipping a stale one costs a flag read
+/// instead of a full heap sift (the overwhelming majority of entries go
+/// stale before surfacing). Only entries discovered *during* the merge
+/// loop (pairs against new virtual vertices, exact re-queues) go into a
+/// small side heap; the front of the combined queue is the larger of
+/// `sorted[cursor]` and the side heap's top, so the pop order — and with
+/// it every routing decision — is identical to a single global heap.
+///
+/// After a warm-up run of comparable size, rebuilding a tree through the
+/// same scratch performs no allocations: every buffer is cleared in place.
+#[derive(Debug, Clone, Default)]
+pub struct RrstrScratch {
+    /// Initial pairs, descending; `sorted[cursor..]` are unconsumed.
+    sorted: Vec<PairEntry>,
+    cursor: usize,
+    /// Entries born during the merge loop — O(k) of them, so the sifts
+    /// the initial pairs avoid stay cheap for the few that need them.
+    side: BinaryHeap<PairEntry>,
+    active: Vec<bool>,
+    /// Per-vertex distance to the source, computed once at registration —
+    /// the bound in [`pair_entry`] reads two of these instead of taking
+    /// two square roots per candidate pair, and the Section 3.3 branches
+    /// reuse them for the spoke lengths.
+    dist_s: Vec<f64>,
+    /// Number of `true` entries in `active`. Lets the merge loop stop as
+    /// soon as fewer than two vertices are active — at that point no
+    /// queued entry can be valid, and the O(k²) stale tail need not be
+    /// drained.
+    active_count: usize,
+}
+
+impl RrstrScratch {
+    /// Fresh, empty working state.
+    pub fn new() -> Self {
+        RrstrScratch::default()
+    }
+
+    /// Marks `v` inactive; every heap entry involving it is now stale.
+    #[inline]
+    fn deactivate(&mut self, v: VertexId) {
+        debug_assert!(self.active[v]);
+        self.active[v] = false;
+        self.active_count -= 1;
+    }
+
+    /// Registers vertex `v`. Ids must fit the entry's 16-bit fields; at
+    /// rrSTR's O(n² log n) that bound is of no practical consequence.
+    #[inline]
+    fn add_vertex(&mut self, v: VertexId, is_active: bool, dist_to_source: f64) {
+        debug_assert_eq!(self.active.len(), v);
+        assert!(v <= u16::MAX as usize, "rrstr vertex id overflows u16");
+        self.active.push(is_active);
+        self.active_count += usize::from(is_active);
+        self.dist_s.push(dist_to_source);
+    }
+}
+
 /// Builds a heuristic Euclidean Steiner tree rooted at `source` spanning
 /// all of `dests` (Figure 3 of the paper).
 ///
@@ -76,6 +155,10 @@ impl Ord for PairEntry {
 /// (carrying its index in `dests`) plus zero or more
 /// [`VertexKind::Virtual`] junctions. Every vertex is reachable from the
 /// root.
+///
+/// Allocates fresh working state per call; the forwarding hot path uses
+/// [`rrstr_into`] with a reused [`RrstrScratch`] instead. Both produce
+/// bit-identical trees.
 ///
 /// # Example
 ///
@@ -92,166 +175,244 @@ impl Ord for PairEntry {
 /// assert_eq!(tree.len(), 4);
 /// tree.check_invariants().unwrap();
 /// ```
-#[allow(clippy::needless_range_loop)] // `active` is a parallel activity vector
 pub fn rrstr(source: Point, dests: &[Point], mode: RadioRange) -> SteinerTree {
     let mut tree = SteinerTree::new(source);
+    let mut scratch = RrstrScratch::new();
+    rrstr_into(source, dests, mode, &mut tree, &mut scratch);
+    tree
+}
+
+/// Builds the bound entry for the pair `(u, v)` in normalized (min, max)
+/// order. The bound:
+/// any tree connecting `{s, a, b}` has length at least half the triangle
+/// perimeter (each pairwise distance is at most the path through the
+/// tree, and summing the three paths counts every edge at most twice), so
+///
+/// ```text
+/// RR = 1 − through/spokes ≤ 1 − (spokes + d(a,b))/(2·spokes)
+///                          = ½ − d(a,b)/(2·spokes).
+/// ```
+///
+/// A `1e-9` margin keeps the bound above the exact ratio under floating-
+/// point rounding (the two are mathematically equal for collinear
+/// triples). The exact ratio and Fermat point are computed lazily when
+/// the entry surfaces still-valid in the merge loop.
+#[inline]
+fn pair_entry(scratch: &RrstrScratch, tree: &SteinerTree, u: VertexId, v: VertexId) -> PairEntry {
+    let (a, b) = (u.min(v), u.max(v));
+    let (pa, pb) = (tree.pos(a), tree.pos(b));
+    let spokes = scratch.dist_s[a] + scratch.dist_s[b];
+    let bound = if spokes <= gmp_geom::EPS {
+        0.5
+    } else {
+        0.5 - pa.dist(pb) / (2.0 * spokes)
+    };
+    PairEntry {
+        ratio: bound + 1e-9,
+        u: a as u16,
+        v: b as u16,
+        exact: false,
+    }
+}
+
+/// [`rrstr`] writing into a caller-owned tree and scratch: the per-packet
+/// hot path. `tree` is reset to `source`; `scratch` is reused as is.
+/// Steady-state (after warm-up at comparable size) this performs zero
+/// heap allocations.
+pub fn rrstr_into(
+    source: Point,
+    dests: &[Point],
+    mode: RadioRange,
+    tree: &mut SteinerTree,
+    scratch: &mut RrstrScratch,
+) {
+    tree.reset(source);
+    scratch.sorted.clear();
+    scratch.cursor = 0;
+    scratch.side.clear();
+    scratch.active.clear();
+    scratch.dist_s.clear();
+    scratch.active_count = 0;
+    scratch.add_vertex(tree.root(), false, 0.0);
     let n = dests.len();
-    let mut active: Vec<bool> = vec![false]; // root inactive
     for (i, &d) in dests.iter().enumerate() {
         let v = tree.add_vertex(VertexKind::Terminal(i), d);
         debug_assert_eq!(v, i + 1);
-        active.push(true);
+        scratch.add_vertex(v, true, source.dist(d));
     }
 
-    let mut heap: BinaryHeap<PairEntry> = BinaryHeap::new();
-    let mut dead_pairs: HashSet<(VertexId, VertexId)> = HashSet::new();
-    let push_pair =
-        |heap: &mut BinaryHeap<PairEntry>, tree: &SteinerTree, u: VertexId, v: VertexId| {
-            // Evaluate in normalized (min, max) order so the Fermat-point
-            // computation is bit-identical no matter which way the pair was
-            // discovered (pins the tree to the reference implementation).
-            let (a, b) = (u.min(v), u.max(v));
-            let e = reduction_ratio(source, tree.pos(a), tree.pos(b));
-            heap.push(PairEntry {
-                ratio: e.ratio,
-                steiner: e.steiner.location,
-                u: a,
-                v: b,
-            });
-        };
+    // Build the initial pair set as a flat vector and sort it descending
+    // in one O(k² log k) pass: consuming it is then a cache-friendly scan
+    // rather than k² heap sifts.
+    let mut pairs = std::mem::take(&mut scratch.sorted);
     for u in 1..=n {
         for v in (u + 1)..=n {
-            push_pair(&mut heap, &tree, u, v);
+            pairs.push(pair_entry(scratch, tree, u, v));
         }
     }
+    pairs.sort_unstable_by(|a, b| b.cmp(a));
+    scratch.sorted = pairs;
 
     loop {
-        // Find the active pair with the largest reduction ratio, skipping
-        // stale entries (lazy deletion).
-        let entry = loop {
-            match heap.pop() {
-                None => break None,
-                Some(e) => {
-                    if active[e.u] && active[e.v] && !dead_pairs.contains(&(e.u, e.v)) {
-                        break Some(e);
-                    }
+        // Find the pair with the largest reduction ratio whose endpoints
+        // are both still active, skipping stale entries (lazy deletion —
+        // see [`PairEntry`] for why the activity flags alone decide
+        // validity). With fewer than two active vertices every remaining
+        // entry is stale, so the O(k²) tail left in the queue after the
+        // final merge is skipped wholesale instead of drained pop by pop.
+        let entry = if scratch.active_count < 2 {
+            None
+        } else {
+            loop {
+                // Front of the combined queue: the larger of the sorted
+                // scan head and the side heap top.
+                let take_sorted = match (scratch.sorted.get(scratch.cursor), scratch.side.peek()) {
+                    (None, None) => break None,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(s), Some(h)) => s.cmp(h) == Ordering::Greater,
+                };
+                let e = if take_sorted {
+                    let e = scratch.sorted[scratch.cursor];
+                    scratch.cursor += 1;
+                    e
+                } else {
+                    scratch.side.pop().expect("side checked non-empty")
+                };
+                let (eu, ev) = (e.u as usize, e.v as usize);
+                if !scratch.active[eu] || !scratch.active[ev] {
+                    continue; // stale — never pays for an evaluation
                 }
+                if e.exact {
+                    break Some((e, None));
+                }
+                // A still-valid bound entry: evaluate the pair for real.
+                // If its exact ratio still strictly beats both queue
+                // fronts it beats every remaining pair (each entry's
+                // exact ratio is at most its bound), so take it now —
+                // carrying the just-computed Fermat point. On a tie,
+                // defer to the queue so the vertex-id tiebreak stays
+                // bit-identical; re-queue at the exact priority.
+                let exact = reduction_ratio(source, tree.pos(eu), tree.pos(ev));
+                debug_assert!(exact.ratio <= e.ratio);
+                let beats_rest = [scratch.sorted.get(scratch.cursor), scratch.side.peek()]
+                    .into_iter()
+                    .flatten()
+                    .all(|top| exact.ratio > top.ratio);
+                let e = PairEntry {
+                    ratio: exact.ratio,
+                    exact: true,
+                    ..e
+                };
+                if beats_rest {
+                    break Some((e, Some(exact.steiner.location)));
+                }
+                scratch.side.push(e);
             }
         };
-        let Some(e) = entry else {
+        let Some((e, steiner)) = entry else {
             // No distinct active pair remains: the pseudocode's terminal
             // `(u, u)` case — connect each remaining active vertex
             // directly to the source.
             for v in 1..tree.len() {
-                if active[v] {
+                if scratch.active[v] {
                     tree.add_edge(tree.root(), v);
-                    active[v] = false;
+                    scratch.deactivate(v);
                 }
             }
             break;
         };
 
-        let (u, v) = (e.u, e.v);
+        let (u, v) = (e.u as usize, e.v as usize);
         let (pu, pv) = (tree.pos(u), tree.pos(v));
-        let t = e.steiner;
+        // On the re-queue path the Steiner point is recomputed rather than
+        // carried in the entry; positions never change, so this is the same
+        // point evaluated at conversion time.
+        let t = steiner.unwrap_or_else(|| reduction_ratio(source, pu, pv).steiner.location);
 
         if t.almost_eq(source) {
             // Steiner point collocated with the source: direct spokes.
             tree.add_edge(tree.root(), u);
             tree.add_edge(tree.root(), v);
-            active[u] = false;
-            active[v] = false;
+            scratch.deactivate(u);
+            scratch.deactivate(v);
         } else if t.almost_eq(pu) {
             // Steiner point collocated with u: u covers v and stays active.
             tree.add_edge(u, v);
-            active[v] = false;
+            scratch.deactivate(v);
         } else if t.almost_eq(pv) {
             tree.add_edge(v, u);
-            active[u] = false;
+            scratch.deactivate(u);
         } else if let RadioRange::Aware(rr) = mode {
-            let du = source.dist(pu);
-            let dv = source.dist(pv);
+            // The spoke lengths were computed at registration (`dist_s`)
+            // from the same operands, so reading them back is bit-identical
+            // to the two square roots the seed took here.
+            let du = scratch.dist_s[u];
+            let dv = scratch.dist_s[v];
             let spokes = du + dv;
             let via_t = t.dist(pu) + t.dist(pv);
             if du < rr && dv < rr {
                 // Both already one hop away; a junction only adds hops.
-                dead_pairs.insert((u, v));
+                // Each unordered pair enters the heap exactly once (the
+                // initial double loop, or once against a brand-new virtual
+                // vertex), so simply dropping the popped entry retires the
+                // pair for good — no dead-pair set needed.
             } else if du < rr {
                 if rr + via_t > spokes {
-                    dead_pairs.insert((u, v));
+                    // Junction not worth a hop; drop the pair (see above).
                 } else {
                     // Use u itself as the junction.
                     tree.add_edge(u, v);
-                    active[v] = false;
+                    scratch.deactivate(v);
                 }
             } else if dv < rr {
                 if rr + via_t > spokes {
-                    dead_pairs.insert((u, v));
+                    // Junction not worth a hop; drop the pair (see above).
                 } else {
                     tree.add_edge(v, u);
-                    active[u] = false;
+                    scratch.deactivate(u);
                 }
             } else if source.dist(t) < rr && rr + via_t > spokes {
                 // Junction in range but not worth a transmission.
                 tree.add_edge(tree.root(), u);
                 tree.add_edge(tree.root(), v);
-                active[u] = false;
-                active[v] = false;
+                scratch.deactivate(u);
+                scratch.deactivate(v);
             } else {
-                create_virtual(
-                    &mut tree,
-                    &mut active,
-                    &mut heap,
-                    source,
-                    t,
-                    u,
-                    v,
-                    push_pair,
-                );
+                create_virtual(tree, scratch, source, t, u, v);
             }
         } else {
-            create_virtual(
-                &mut tree,
-                &mut active,
-                &mut heap,
-                source,
-                t,
-                u,
-                v,
-                push_pair,
-            );
+            create_virtual(tree, scratch, source, t, u, v);
         }
     }
 
     debug_assert!(tree.check_invariants().is_ok());
-    debug_assert_eq!(tree.reachable_from_root().len(), tree.len());
-    tree
+    // `check_invariants` + all-attached ⟹ fully reachable from the root;
+    // unlike `reachable_from_root` this keeps debug builds allocation-free.
+    debug_assert!(tree.all_attached());
 }
 
 /// Creates a virtual destination at `t` covering `u` and `v`, and enqueues
 /// its pairs against every still-active vertex.
-#[allow(clippy::too_many_arguments)]
-#[allow(clippy::needless_range_loop)]
 fn create_virtual(
     tree: &mut SteinerTree,
-    active: &mut Vec<bool>,
-    heap: &mut BinaryHeap<PairEntry>,
-    _source: Point,
+    scratch: &mut RrstrScratch,
+    source: Point,
     t: Point,
     u: VertexId,
     v: VertexId,
-    push_pair: impl Fn(&mut BinaryHeap<PairEntry>, &SteinerTree, VertexId, VertexId),
 ) {
     let w = tree.add_vertex(VertexKind::Virtual, t);
     tree.add_edge(w, u);
     tree.add_edge(w, v);
-    active[u] = false;
-    active[v] = false;
-    active.push(true);
-    debug_assert_eq!(active.len(), tree.len());
+    scratch.deactivate(u);
+    scratch.deactivate(v);
+    scratch.add_vertex(w, true, source.dist(t));
+    debug_assert_eq!(scratch.active.len(), tree.len());
     for i in 1..w {
-        if active[i] {
-            push_pair(heap, tree, w, i);
+        if scratch.active[i] {
+            let e = pair_entry(scratch, tree, w, i);
+            scratch.side.push(e);
         }
     }
 }
@@ -472,6 +633,30 @@ mod proptests {
             );
             let spokes: f64 = dests.iter().map(|&d| s.dist(d)).sum();
             prop_assert!(tree.total_length() <= spokes + 1e-6);
+        }
+
+        #[test]
+        fn scratch_reuse_is_bit_identical(
+            runs in proptest::collection::vec(
+                (points(12), (0.0..1000.0f64, 0.0..1000.0f64), proptest::bool::ANY),
+                1..6,
+            ),
+        ) {
+            // One scratch and tree carried across a whole sequence of
+            // differently-sized builds: every rebuild must be bit-identical
+            // to a fresh-allocation run (vertices, edges, and lengths),
+            // regardless of what earlier runs left in the buffers.
+            let mut tree = SteinerTree::new(Point::ORIGIN);
+            let mut scratch = RrstrScratch::new();
+            for (dests, (sx, sy), aware) in runs {
+                let s = Point::new(sx, sy);
+                let mode = if aware { RadioRange::Aware(150.0) } else { RadioRange::Ignored };
+                let fresh = rrstr(s, &dests, mode);
+                rrstr_into(s, &dests, mode, &mut tree, &mut scratch);
+                prop_assert_eq!(&tree, &fresh);
+                prop_assert_eq!(tree.edges(), fresh.edges());
+                prop_assert!(tree.total_length().to_bits() == fresh.total_length().to_bits());
+            }
         }
     }
 }

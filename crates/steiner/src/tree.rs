@@ -30,13 +30,31 @@ pub type VertexId = usize;
 
 /// A rooted tree over Euclidean points, with terminals and virtual
 /// junctions.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Designed for reuse on the forwarding hot path: [`SteinerTree::reset`]
+/// rewinds to a bare root without freeing the per-vertex child lists, so a
+/// warmed-up tree rebuilds with zero allocations. Only `children[v]` for
+/// `v < len()` are live; entries beyond the live length are cleared spares
+/// kept for their capacity.
+#[derive(Debug, Clone)]
 pub struct SteinerTree {
     kinds: Vec<VertexKind>,
     positions: Vec<Point>,
     parent: Vec<Option<VertexId>>,
-    /// Children in edge-insertion order.
+    /// Children in edge-insertion order. May be longer than `kinds`; the
+    /// excess entries are empty spares retained across [`SteinerTree::reset`].
     children: Vec<Vec<VertexId>>,
+}
+
+impl PartialEq for SteinerTree {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare only the live region: spare child lists kept by `reset`
+        // must not distinguish a reused tree from a freshly built one.
+        self.kinds == other.kinds
+            && self.positions == other.positions
+            && self.parent == other.parent
+            && self.children[..self.kinds.len()] == other.children[..other.kinds.len()]
+    }
 }
 
 impl SteinerTree {
@@ -47,6 +65,25 @@ impl SteinerTree {
             positions: vec![root_pos],
             parent: vec![None],
             children: vec![Vec::new()],
+        }
+    }
+
+    /// Rewinds to a bare root at `root_pos`, retaining every allocation:
+    /// the vertex vectors keep their capacity and each child list is
+    /// cleared in place rather than freed, so rebuilding a tree of
+    /// comparable size allocates nothing.
+    pub fn reset(&mut self, root_pos: Point) {
+        self.kinds.clear();
+        self.positions.clear();
+        self.parent.clear();
+        for c in &mut self.children {
+            c.clear();
+        }
+        self.kinds.push(VertexKind::Root);
+        self.positions.push(root_pos);
+        self.parent.push(None);
+        if self.children.is_empty() {
+            self.children.push(Vec::new());
         }
     }
 
@@ -74,7 +111,11 @@ impl SteinerTree {
         self.kinds.push(kind);
         self.positions.push(pos);
         self.parent.push(None);
-        self.children.push(Vec::new());
+        // Reuse a spare child list left behind by `reset` if one exists.
+        if self.children.len() < self.kinds.len() {
+            self.children.push(Vec::new());
+        }
+        debug_assert!(self.children[self.kinds.len() - 1].is_empty());
         self.kinds.len() - 1
     }
 
@@ -141,7 +182,23 @@ impl SteinerTree {
     /// pivot in GMP terminology (Section 4).
     pub fn terminals_in_subtree(&self, v: VertexId) -> Vec<usize> {
         let mut out = Vec::new();
-        let mut stack = vec![v];
+        let mut stack = Vec::new();
+        self.terminals_in_subtree_into(v, &mut out, &mut stack);
+        out
+    }
+
+    /// Allocation-free variant of [`SteinerTree::terminals_in_subtree`]:
+    /// writes the sorted terminal indices into `out` (cleared first) using
+    /// `stack` as traversal scratch.
+    pub fn terminals_in_subtree_into(
+        &self,
+        v: VertexId,
+        out: &mut Vec<usize>,
+        stack: &mut Vec<VertexId>,
+    ) {
+        out.clear();
+        stack.clear();
+        stack.push(v);
         while let Some(x) = stack.pop() {
             if let VertexKind::Terminal(i) = self.kinds[x] {
                 out.push(i);
@@ -149,7 +206,6 @@ impl SteinerTree {
             stack.extend_from_slice(&self.children[x]);
         }
         out.sort_unstable();
-        out
     }
 
     /// The sum of all edge lengths.
@@ -205,6 +261,19 @@ impl SteinerTree {
             }
         }
         Ok(())
+    }
+
+    /// True when the root is parentless and every other vertex has a
+    /// parent. Combined with a passing [`SteinerTree::check_invariants`]
+    /// (consistency + acyclicity), this implies every vertex is reachable
+    /// from the root — equivalent to
+    /// `reachable_from_root().len() == len()` but allocation-free, so it
+    /// can guard the hot path in debug builds.
+    pub fn all_attached(&self) -> bool {
+        self.parent[self.root()].is_none()
+            && self
+                .vertex_ids()
+                .all(|v| v == self.root() || self.parent[v].is_some())
     }
 
     /// All vertices reachable from the root — equals the whole tree when
@@ -321,6 +390,39 @@ mod tests {
     fn self_loop_panics() {
         let mut t = sample_tree();
         t.add_edge(2, 2);
+    }
+
+    #[test]
+    fn reset_tree_rebuilds_equal_to_fresh() {
+        let mut reused = sample_tree();
+        reused.reset(Point::new(0.0, 0.0));
+        assert!(reused.is_empty());
+        assert_eq!(reused.len(), 1);
+        assert_eq!(reused.children(reused.root()), &[] as &[VertexId]);
+        // Rebuild the sample structure in the reused tree: it must compare
+        // equal to a fresh build despite the spare child lists it retains.
+        let w = reused.add_vertex(VertexKind::Virtual, Point::new(10.0, 0.0));
+        let t0 = reused.add_vertex(VertexKind::Terminal(0), Point::new(20.0, 5.0));
+        let t1 = reused.add_vertex(VertexKind::Terminal(1), Point::new(20.0, -5.0));
+        let t2 = reused.add_vertex(VertexKind::Terminal(2), Point::new(-5.0, 0.0));
+        reused.add_edge(w, t0);
+        reused.add_edge(w, t1);
+        reused.add_edge(reused.root(), w);
+        reused.add_edge(reused.root(), t2);
+        assert_eq!(reused, sample_tree());
+        assert_eq!(sample_tree(), reused);
+        reused.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn terminals_in_subtree_into_matches_allocating_version() {
+        let t = sample_tree();
+        let mut out = vec![99, 98]; // pre-dirtied buffers must be cleared
+        let mut stack = vec![7];
+        for v in t.vertex_ids() {
+            t.terminals_in_subtree_into(v, &mut out, &mut stack);
+            assert_eq!(out, t.terminals_in_subtree(v));
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Visualizes rrSTR's virtual Euclidean Steiner tree next to LGS's MST on
 //! the paper's Figure 1/4 scenario, and prints the length comparison.
 //!
-//! Writes `steiner_trees.svg` with the rrSTR tree (dashed blue, virtual
+//! Writes `results/steiner_trees.svg` with the rrSTR tree (dashed blue, virtual
 //! junctions as hollow squares) and the MST (solid gray).
 //!
 //! ```sh
@@ -75,7 +75,7 @@ fn main() {
             }
         }
     }
-    let path = "steiner_trees.svg";
+    let path = "results/steiner_trees.svg";
     std::fs::write(path, scene.finish()).expect("write svg");
     println!("\nwrote {path} — dashed blue: rrSTR (hollow = virtual), gray: MST");
 }

@@ -3,7 +3,7 @@
 //!
 //! A circular hole is carved out of the deployment; the multicast must
 //! detour around it. The example prints what happened and writes
-//! `void_routing.svg` showing nodes, the hole, and every transmission.
+//! `results/void_routing.svg` showing nodes, the hole, and every transmission.
 //!
 //! ```sh
 //! cargo run --release --example void_routing
@@ -80,7 +80,7 @@ fn main() {
     for &d in &dests {
         scene.circle(topo.pos(d), 6.0, "#cc3311");
     }
-    let path = "void_routing.svg";
+    let path = "results/void_routing.svg";
     std::fs::write(path, scene.finish()).expect("write svg");
     println!("\nwrote {path} — blue edges are transmissions detouring the void");
     assert!(report.delivered_all());

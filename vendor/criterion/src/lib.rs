@@ -1,0 +1,275 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros — with real timing:
+//! each benchmark is warmed up, then measured over a fixed wall-clock
+//! budget, and the median per-iteration time is printed.
+//!
+//! No statistical analysis, HTML reports, or baseline files; the point
+//! is honest relative numbers from `cargo bench` in an offline build.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier so the optimizer cannot delete benchmarked work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a plain arg.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1200),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id.full, f);
+        self
+    }
+
+    fn run_one<F>(&self, full_name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: run the routine until the budget elapses.
+        let mut bencher = Bencher {
+            budget: self.warm_up,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        // Measurement.
+        let mut bencher = Bencher {
+            budget: self.measure,
+            samples: Vec::with_capacity(64),
+        };
+        f(&mut bencher);
+        let mut per_iter = bencher.samples;
+        if per_iter.is_empty() {
+            println!("{full_name:<56} (no samples)");
+            return;
+        }
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter[0];
+        let hi = per_iter[per_iter.len() - 1];
+        println!(
+            "{full_name:<56} median {:>12} (min {}, max {}, {} samples)",
+            fmt_nanos(median),
+            fmt_nanos(lo),
+            fmt_nanos(hi),
+            per_iter.len()
+        );
+    }
+}
+
+fn fmt_nanos(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.full);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility; sampling here is time-budgeted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (no-op; exists to match the real API).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<u128>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` until the budget elapses,
+    /// recording per-iteration nanoseconds in batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate batch size so each sample is ~100us of work.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().as_nanos().max(1);
+        let batch = (100_000 / one).clamp(1, 100_000) as u32;
+
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let per_iter = t0.elapsed().as_nanos() / u128::from(batch);
+            self.samples.push(per_iter);
+        }
+    }
+}
+
+/// Declares a group of benchmark entry points.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(20),
+            samples: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(3));
+            acc
+        });
+        assert!(!b.samples.is_empty());
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        let id = BenchmarkId::new("rrstr", 25);
+        assert_eq!(id.full, "rrstr/25");
+        let id = BenchmarkId::from_parameter("GMP");
+        assert_eq!(id.full, "GMP");
+    }
+}

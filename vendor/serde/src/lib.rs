@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace uses serde only as derive markers on config structs (no
+//! serializer backend is present in the offline build), so this crate
+//! provides the `Serialize` / `Deserialize` trait names and re-exports
+//! no-op derive macros of the same names. Code that derives them
+//! compiles unchanged; actual (de)serialization is simply not available
+//! until the real crate can be fetched.
+
+/// Marker for types that can be serialized (no backend available here).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (no backend available here).
+pub trait Deserialize<'de> {}
+
+/// Owned-deserialization marker, mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
