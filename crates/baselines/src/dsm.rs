@@ -99,25 +99,30 @@ impl Protocol for DsmRouter {
         self.tree = Some(Arc::new(children));
     }
 
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
         let tree = match &self.tree {
             Some(t) => Arc::clone(t),
-            None => return Vec::new(),
+            None => return,
         };
         match packet.state {
             // Mid-leg relay: keep pushing toward the leg target.
             RoutingState::UnicastLeg { target } if target != ctx.node => {
-                match greedy_next_hop(ctx.topo, ctx.node, ctx.pos_of(target)) {
-                    Some(n) => vec![Forward {
+                // Frozen tree, no recovery on voids.
+                if let Some(n) = greedy_next_hop(ctx.topo, ctx.node, ctx.pos_of(target)) {
+                    out.push(Forward {
                         next_hop: n,
                         packet: packet.clone(),
-                    }],
-                    None => Vec::new(), // frozen tree, no recovery
+                    });
                 }
             }
             // At a tree vertex (the source, or a leg target): fan out to
             // the frozen children.
-            _ => self.fan_out(ctx, &packet, &tree, ctx.node),
+            _ => out.extend(self.fan_out(ctx, &packet, &tree, ctx.node)),
         }
     }
 }

@@ -63,18 +63,20 @@ impl Protocol for GrdRouter {
         "GRD".into()
     }
 
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
         if packet.dests.len() > 1 {
             // Fan out one independent unicast per destination.
-            return packet
-                .dests
-                .iter()
-                .filter_map(|&d| {
-                    self.route_single(ctx, packet.split(vec![d], RoutingState::Greedy))
-                })
-                .collect();
+            out.extend(packet.dests.iter().filter_map(|&d| {
+                self.route_single(ctx, packet.split(vec![d], RoutingState::Greedy))
+            }));
+            return;
         }
-        self.route_single(ctx, packet).into_iter().collect()
+        out.extend(self.route_single(ctx, packet));
     }
 }
 

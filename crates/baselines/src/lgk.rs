@@ -36,7 +36,7 @@ impl LgkRouter {
 
     fn partition(&self, ctx: &NodeContext<'_>, packet: &MulticastPacket) -> Vec<Forward> {
         // Roots: the k destinations nearest to the current node.
-        let mut by_dist: Vec<NodeId> = packet.dests.clone();
+        let mut by_dist: Vec<NodeId> = packet.dests.to_vec();
         by_dist.sort_by(|&a, &b| {
             ctx.pos()
                 .dist_sq(ctx.pos_of(a))
@@ -81,18 +81,22 @@ impl Protocol for LgkRouter {
         format!("LGK(k={})", self.k)
     }
 
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
         match packet.state {
             RoutingState::UnicastLeg { target } if target != ctx.node => {
-                match greedy_next_hop(ctx.topo, ctx.node, ctx.pos_of(target)) {
-                    Some(n) => vec![Forward {
+                if let Some(n) = greedy_next_hop(ctx.topo, ctx.node, ctx.pos_of(target)) {
+                    out.push(Forward {
                         next_hop: n,
                         packet: packet.clone(),
-                    }],
-                    None => Vec::new(),
+                    });
                 }
             }
-            _ => self.partition(ctx, &packet),
+            _ => out.extend(self.partition(ctx, &packet)),
         }
     }
 }

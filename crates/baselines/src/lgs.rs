@@ -61,21 +61,26 @@ impl Protocol for LgsRouter {
         "LGS".into()
     }
 
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
         match packet.state {
             // Relay leg: forward greedily toward the subtree root without
             // re-partitioning, unless we *are* the root (the runner already
             // stripped us from the destination list in that case).
             RoutingState::UnicastLeg { target } if target != ctx.node => {
-                match greedy_next_hop(ctx.topo, ctx.node, ctx.pos_of(target)) {
-                    Some(n) => vec![Forward {
+                // Void mid-leg (`None`): fail.
+                if let Some(n) = greedy_next_hop(ctx.topo, ctx.node, ctx.pos_of(target)) {
+                    out.push(Forward {
                         next_hop: n,
                         packet: packet.clone(),
-                    }],
-                    None => Vec::new(), // void mid-leg: fail
+                    });
                 }
             }
-            _ => self.partition(ctx, &packet),
+            _ => out.extend(self.partition(ctx, &packet)),
         }
     }
 }
@@ -159,7 +164,7 @@ mod tests {
             node: NodeId(0),
             config: &config,
         };
-        let fwd = router.on_packet(
+        let fwd = router.route(
             &ctx,
             MulticastPacket::new(0, NodeId(0), vec![NodeId(3), NodeId(4)]),
         );

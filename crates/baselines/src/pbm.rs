@@ -223,7 +223,12 @@ impl Protocol for PbmRouter {
         format!("PBM(λ={})", self.config.lambda)
     }
 
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
         let here = ctx.pos();
 
         // Perimeter packets stay in perimeter mode until the GPSR exit
@@ -231,13 +236,14 @@ impl Protocol for PbmRouter {
         if let RoutingState::Perimeter(state) = packet.state {
             if !state.closer_than_entry(here) {
                 let mut state = state;
-                return match perimeter_next_hop(ctx.topo, ctx.planar_kind(), ctx.node, &mut state) {
-                    Ok(n) => vec![Forward {
+                if let Ok(n) = perimeter_next_hop(ctx.topo, ctx.planar_kind(), ctx.node, &mut state)
+                {
+                    out.push(Forward {
                         next_hop: n,
                         packet: packet.split(packet.dests.clone(), RoutingState::Perimeter(state)),
-                    }],
-                    Err(_) => Vec::new(),
-                };
+                    });
+                }
+                return;
             }
         }
 
@@ -250,7 +256,6 @@ impl Protocol for PbmRouter {
                 .any(|&n| ctx.pos_of(n).dist(target) < own)
         });
 
-        let mut out: Vec<Forward> = Vec::new();
         let mut unassigned: Vec<NodeId> = voids;
         let groups = self.choose_subsets(ctx, &ok);
         let assigned: std::collections::HashSet<NodeId> =
@@ -281,7 +286,6 @@ impl Protocol for PbmRouter {
                 });
             }
         }
-        out
     }
 }
 
@@ -329,7 +333,7 @@ mod tests {
             config: &config,
         };
         let mut pbm = PbmRouter::with_lambda(0.0);
-        let fwd = pbm.on_packet(
+        let fwd = pbm.route(
             &ctx,
             MulticastPacket::new(0, NodeId(0), vec![NodeId(3), NodeId(4)]),
         );
@@ -357,12 +361,12 @@ mod tests {
         };
         let dests = vec![NodeId(4), NodeId(5)];
         let mut thrifty = PbmRouter::with_lambda(0.9);
-        let f_thrifty = thrifty.on_packet(&ctx, MulticastPacket::new(0, NodeId(0), dests.clone()));
+        let f_thrifty = thrifty.route(&ctx, MulticastPacket::new(0, NodeId(0), dests.clone()));
         assert_eq!(f_thrifty.len(), 1, "λ=0.9 should send one copy");
         // The single copy carries both destinations.
         assert_eq!(f_thrifty[0].packet.dests.len(), 2);
         let mut eager = PbmRouter::with_lambda(0.0);
-        let f_eager = eager.on_packet(&ctx, MulticastPacket::new(0, NodeId(0), dests));
+        let f_eager = eager.route(&ctx, MulticastPacket::new(0, NodeId(0), dests));
         assert_eq!(f_eager.len(), 2, "λ=0 should maximize progress");
     }
 

@@ -105,31 +105,33 @@ impl Protocol for SmtRouter {
         });
     }
 
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
         let tree: Arc<HashMap<NodeId, Vec<NodeId>>> = match &packet.state {
             RoutingState::SourceTree(t) => Arc::clone(t),
             _ => match &self.tree {
                 Some(t) => Arc::clone(t),
-                None => return Vec::new(), // no tree: all terminals stranded
+                None => return, // no tree: all terminals stranded
             },
         };
         let children = match tree.get(&ctx.node) {
             Some(c) => c.clone(),
-            None => return Vec::new(),
+            None => return,
         };
-        children
-            .into_iter()
-            .filter_map(|c| {
-                let below = Self::dests_below(&tree, c, &packet.dests);
-                if below.is_empty() {
-                    return None;
-                }
-                Some(Forward {
-                    next_hop: c,
-                    packet: packet.split(below, RoutingState::SourceTree(Arc::clone(&tree))),
-                })
+        out.extend(children.into_iter().filter_map(|c| {
+            let below = Self::dests_below(&tree, c, &packet.dests);
+            if below.is_empty() {
+                return None;
+            }
+            Some(Forward {
+                next_hop: c,
+                packet: packet.split(below, RoutingState::SourceTree(Arc::clone(&tree))),
             })
-            .collect()
+        }));
     }
 }
 

@@ -42,7 +42,7 @@ proptest! {
         for mut proto in protocols() {
             proto.on_task_start(&ctx, task.source, &task.dests);
             let packet = MulticastPacket::new(0, task.source, task.dests.clone());
-            let forwards = proto.on_packet(&ctx, packet);
+            let forwards = proto.route(&ctx, packet);
             // Collect all destinations across emitted copies.
             let mut all: Vec<NodeId> = forwards
                 .iter()

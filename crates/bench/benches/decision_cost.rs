@@ -26,19 +26,35 @@ fn bench_decisions(c: &mut Criterion) {
         let packet = MulticastPacket::new(0, task.source, task.dests.clone());
         group.bench_with_input(BenchmarkId::new("GMP", k), &k, |b, _| {
             let mut p = GmpRouter::new();
-            b.iter(|| p.on_packet(&ctx, packet.clone()));
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                p.on_packet(&ctx, packet.clone(), &mut out)
+            });
         });
         group.bench_with_input(BenchmarkId::new("GMPnr", k), &k, |b, _| {
             let mut p = GmpRouter::without_radio_range_awareness();
-            b.iter(|| p.on_packet(&ctx, packet.clone()));
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                p.on_packet(&ctx, packet.clone(), &mut out)
+            });
         });
         group.bench_with_input(BenchmarkId::new("LGS", k), &k, |b, _| {
             let mut p = LgsRouter::new();
-            b.iter(|| p.on_packet(&ctx, packet.clone()));
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                p.on_packet(&ctx, packet.clone(), &mut out)
+            });
         });
         group.bench_with_input(BenchmarkId::new("PBM", k), &k, |b, _| {
             let mut p = PbmRouter::with_lambda(0.3);
-            b.iter(|| p.on_packet(&ctx, packet.clone()));
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                p.on_packet(&ctx, packet.clone(), &mut out)
+            });
         });
     }
     group.finish();

@@ -1,0 +1,57 @@
+//! Tentpole regression guard for the event-loop overhaul: full-task
+//! simulation throughput at the paper scale (1000 nodes, k = 25
+//! destinations), with the collision model off and on. Every figure in the
+//! paper is an average over thousands of simulated tasks, so this is the
+//! number that bounds experiment turnaround; `results/BENCH_2.json`
+//! (written by `experiments bench`) records the same workload untethered
+//! from criterion for CI artifacts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gmp_core::GmpRouter;
+use gmp_net::Topology;
+use gmp_sim::{MulticastTask, SimConfig, SimScratch, TaskRunner};
+
+fn bench_full_tasks(c: &mut Criterion) {
+    let base = SimConfig::paper();
+    let topo = Topology::random(&base.topology_config(), 1);
+    let tasks: Vec<MulticastTask> = (0..16)
+        .map(|i| MulticastTask::random(&topo, 25, 100 + i))
+        .collect();
+    let mut group = c.benchmark_group("sim_task");
+    group.sample_size(20);
+    for (label, config) in [
+        ("collisions_off", base.clone()),
+        (
+            "collisions_on",
+            base.clone()
+                .with_collisions(true)
+                .with_tx_jitter(0.005)
+                .with_retransmissions(7),
+        ),
+    ] {
+        let runner = TaskRunner::new(&topo, &config);
+        group.bench_function(label, |b| {
+            let mut router = GmpRouter::new();
+            let mut scratch = SimScratch::new();
+            // Warm the scratch to its high-water capacities so the
+            // measurement sees the allocation-free steady state.
+            for t in &tasks {
+                let _ = runner.run_with_scratch(&mut router, t, 0, &mut scratch);
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                let t = &tasks[i % tasks.len()];
+                i += 1;
+                black_box(
+                    runner
+                        .run_with_scratch(&mut router, t, 0, &mut scratch)
+                        .transmissions,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_tasks);
+criterion_main!(benches);

@@ -235,15 +235,35 @@ pub fn find_next_hop(
     if let Some(entry) = perimeter_entry {
         bound = bound.min(total_from(entry));
     }
-    topo.neighbors(node)
-        .iter()
-        .copied()
-        .filter(|&n| total_from(topo.pos(n)) < bound - gmp_geom::EPS)
-        .min_by(|&a, &b| {
-            topo.pos(a)
-                .dist_sq(pivot_pos)
-                .total_cmp(&topo.pos(b).dist_sq(pivot_pos))
-        })
+    // Equivalent to `neighbors.filter(total < bound − EPS).min_by(dist²
+    // to pivot)` but with two exact short-circuits. A neighbor at least as
+    // far from the pivot as the current best passer can never be selected
+    // (`min_by` keeps the first of equals, and dist² is never NaN or
+    // −0.0), so its improvement test is skipped entirely. The test itself
+    // bails at the first running partial ≥ the cutoff: the partials of a
+    // nonnegative left-to-right sum are nondecreasing even after rounding,
+    // so the full total — the same fl sum the filter would compare — is
+    // too. Both cuts leave the selected neighbor bit-identical.
+    let cutoff = bound - gmp_geom::EPS;
+    let mut best: Option<(f64, NodeId)> = None;
+    'neighbors: for &n in topo.neighbors(node) {
+        let p = topo.pos(n);
+        let d2 = p.dist_sq(pivot_pos);
+        if let Some((best_d2, _)) = best {
+            if d2 >= best_d2 {
+                continue;
+            }
+        }
+        let mut sum = 0.0;
+        for &v in group {
+            sum += p.dist(topo.pos(v));
+            if sum >= cutoff {
+                continue 'neighbors;
+            }
+        }
+        best = Some((d2, n));
+    }
+    best.map(|(_, n)| n)
 }
 
 #[cfg(test)]

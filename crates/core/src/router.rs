@@ -81,7 +81,8 @@ fn emit(
     packet: &MulticastPacket,
     grouping: &mut Grouping,
     prior_perimeter: Option<PerimeterState>,
-) -> Vec<Forward> {
+    out: &mut Vec<Forward>,
+) {
     let had_covered = !grouping.covered.is_empty();
     if config.merge_same_next_hop {
         // Coalesce groups sharing a next hop into one copy.
@@ -96,18 +97,24 @@ fn emit(
             }
         });
     }
-    let mut out: Vec<Forward> = grouping
-        .covered
-        .iter()
-        .map(|g| Forward {
+    out.extend(grouping.covered.iter().map(|g| {
+        // A group carrying the packet's whole destination list forwards
+        // the list by reference count instead of re-allocating it — the
+        // steady state of every pass-through hop.
+        let dests = if packet.dests == g.dests {
+            packet.dests.clone()
+        } else {
+            g.dests.clone().into()
+        };
+        Forward {
             // Step 4 of Figure 7: a found next hop clears PERIMODE.
             next_hop: g.next_hop,
-            packet: packet.split(g.dests.clone(), RoutingState::Greedy),
-        })
-        .collect();
+            packet: packet.split(dests, RoutingState::Greedy),
+        }
+    }));
 
     if grouping.voids.is_empty() {
-        return out;
+        return;
     }
 
     // Section 4.1: all void destinations travel as ONE perimeter group.
@@ -138,7 +145,6 @@ fn emit(
             // runner records them as failed.
         }
     }
-    out
 }
 
 impl Protocol for GmpRouter {
@@ -150,7 +156,12 @@ impl Protocol for GmpRouter {
         }
     }
 
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
         debug_assert!(!packet.dests.is_empty());
         let prior = match &packet.state {
             RoutingState::Perimeter(p) => Some(*p),
@@ -174,7 +185,8 @@ impl Protocol for GmpRouter {
             &packet,
             self.scratch.grouping_mut(),
             prior,
-        )
+            out,
+        );
     }
 }
 

@@ -122,11 +122,13 @@ impl TopologyConfig {
 #[derive(Debug)]
 pub struct Topology {
     nodes: Vec<Node>,
+    positions: Vec<Point>,
     area: Aabb,
     radio_range: f64,
     adjacency: Vec<Vec<NodeId>>,
     gabriel: OnceLock<Vec<Vec<NodeId>>>,
     rng_graph: OnceLock<Vec<Vec<NodeId>>>,
+    neighbor_dists: OnceLock<Vec<Vec<f64>>>,
 }
 
 impl Topology {
@@ -148,17 +150,19 @@ impl Topology {
             })
             .collect();
         let nodes = positions
-            .into_iter()
+            .iter()
             .enumerate()
-            .map(|(i, p)| Node::new(NodeId(i as u32), p))
+            .map(|(i, &p)| Node::new(NodeId(i as u32), p))
             .collect();
         Topology {
             nodes,
+            positions,
             area,
             radio_range,
             adjacency,
             gabriel: OnceLock::new(),
             rng_graph: OnceLock::new(),
+            neighbor_dists: OnceLock::new(),
         }
     }
 
@@ -286,7 +290,15 @@ impl Topology {
 
     /// All node positions, indexable by [`NodeId::index`].
     pub fn positions(&self) -> Vec<Point> {
-        self.nodes.iter().map(|n| n.pos).collect()
+        self.positions.clone()
+    }
+
+    /// All node positions as a borrowed slice, indexable by
+    /// [`NodeId::index`] — the allocation-free form of
+    /// [`Topology::positions`].
+    #[inline]
+    pub fn positions_ref(&self) -> &[Point] {
+        &self.positions
     }
 
     /// The unit-disk neighbors of `id` (all nodes within radio range),
@@ -321,6 +333,30 @@ impl Topology {
         };
         let adj = cache.get_or_init(|| planarize(self, kind));
         &adj[id.index()]
+    }
+
+    /// The distances from `id` to each of its unit-disk neighbors, sorted
+    /// ascending; computed lazily once and cached. Because the values are
+    /// the same `dist` results a caller would compute per neighbor, a
+    /// `partition_point` over this slice counts exactly the neighbors a
+    /// linear distance filter would keep (power-control listener counts).
+    pub fn neighbor_distances(&self, id: NodeId) -> &[f64] {
+        let all = self.neighbor_dists.get_or_init(|| {
+            self.adjacency
+                .iter()
+                .enumerate()
+                .map(|(i, neigh)| {
+                    let p = self.positions[i];
+                    let mut d: Vec<f64> = neigh
+                        .iter()
+                        .map(|&n| p.dist(self.positions[n.index()]))
+                        .collect();
+                    d.sort_unstable_by(|a, b| a.total_cmp(b));
+                    d
+                })
+                .collect()
+        });
+        &all[id.index()]
     }
 
     /// Whether the unit-disk graph is connected (BFS from node 0).
@@ -449,6 +485,34 @@ mod tests {
         let topo = Topology::from_positions(positions, Aabb::square(100.0), 50.0);
         let target = Point::new(9.0, 1.0);
         assert_eq!(topo.closest_neighbor_to(NodeId(0), target), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn neighbor_distances_are_sorted_and_match_linear_filter() {
+        let config = TopologyConfig::new(400.0, 80, 120.0);
+        let topo = Topology::random(&config, 3);
+        for n in topo.nodes() {
+            let dists = topo.neighbor_distances(n.id);
+            assert_eq!(dists.len(), topo.neighbors(n.id).len());
+            assert!(dists.windows(2).all(|w| w[0] <= w[1]), "must be sorted");
+            // A partition_point cutoff counts exactly what the linear
+            // distance filter counts, for any cutoff.
+            for cutoff in [0.0, 30.0, 61.7, 120.0, 200.0] {
+                let linear = topo
+                    .neighbors(n.id)
+                    .iter()
+                    .filter(|&&m| topo.pos(n.id).dist(topo.pos(m)) <= cutoff)
+                    .count();
+                assert_eq!(dists.partition_point(|&d| d <= cutoff), linear);
+            }
+        }
+    }
+
+    #[test]
+    fn positions_ref_matches_positions() {
+        let config = TopologyConfig::new(300.0, 50, 100.0);
+        let topo = Topology::random(&config, 9);
+        assert_eq!(topo.positions(), topo.positions_ref().to_vec());
     }
 
     #[test]

@@ -75,6 +75,15 @@ impl EventQueue {
         self.now
     }
 
+    /// Rewinds to an empty queue at time zero, keeping the heap's
+    /// allocation — a reset queue is indistinguishable from a new one
+    /// (times, tiebreak sequence numbers, and pop order all restart).
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = 0.0;
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()

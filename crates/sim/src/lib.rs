@@ -41,8 +41,8 @@ pub use config::SimConfig;
 pub use energy::EnergyModel;
 pub use geocast::{GeocastReport, GeocastRunner, GeocastTask};
 pub use metrics::TaskReport;
-pub use packet::{MulticastPacket, RoutingState};
+pub use packet::{DestList, MulticastPacket, RoutingState};
 pub use protocol::{Forward, NodeContext, Protocol};
-pub use runner::TaskRunner;
+pub use runner::{SimScratch, TaskRunner};
 pub use scenario::Scenario;
 pub use task::MulticastTask;

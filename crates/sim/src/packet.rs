@@ -37,6 +37,63 @@ pub enum RoutingState {
     SourceTree(Arc<HashMap<NodeId, Vec<NodeId>>>),
 }
 
+/// The destination list of a packet, shared by reference count.
+///
+/// Retransmissions and event-queue moves copy packets far more often than
+/// anything edits their destination list, so the list is an `Arc<Vec<_>>`:
+/// cloning a packet bumps a reference count instead of copying node ids.
+/// The only mutation, [`DestList::retain`], goes through [`Arc::make_mut`]
+/// — in the simulator the packet inside a `Deliver` event is uniquely
+/// owned, so the retain edits in place without a copy.
+#[derive(Debug, Clone, Default)]
+pub struct DestList(Arc<Vec<NodeId>>);
+
+impl DestList {
+    /// Keeps only the destinations satisfying `f`, in place when this is
+    /// the sole owner of the list.
+    pub fn retain(&mut self, f: impl FnMut(&NodeId) -> bool) {
+        Arc::make_mut(&mut self.0).retain(f);
+    }
+
+    /// Copies the destinations into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<NodeId> {
+        self.0.as_ref().clone()
+    }
+}
+
+impl From<Vec<NodeId>> for DestList {
+    fn from(dests: Vec<NodeId>) -> Self {
+        DestList(Arc::new(dests))
+    }
+}
+
+impl std::ops::Deref for DestList {
+    type Target = [NodeId];
+    fn deref(&self) -> &[NodeId] {
+        &self.0
+    }
+}
+
+impl PartialEq for DestList {
+    fn eq(&self, other: &Self) -> bool {
+        *self.0 == *other.0
+    }
+}
+
+impl PartialEq<Vec<NodeId>> for DestList {
+    fn eq(&self, other: &Vec<NodeId>) -> bool {
+        *self.0 == *other
+    }
+}
+
+impl<'a> IntoIterator for &'a DestList {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 /// A multicast data packet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MulticastPacket {
@@ -45,7 +102,7 @@ pub struct MulticastPacket {
     /// The node that originated the multicast.
     pub origin: NodeId,
     /// Remaining destinations this copy is responsible for.
-    pub dests: Vec<NodeId>,
+    pub dests: DestList,
     /// Transmissions this copy has undergone so far.
     pub hops: u32,
     /// Protocol-specific routing state.
@@ -54,11 +111,11 @@ pub struct MulticastPacket {
 
 impl MulticastPacket {
     /// Creates a fresh packet at the origin.
-    pub fn new(seq: u64, origin: NodeId, dests: Vec<NodeId>) -> Self {
+    pub fn new(seq: u64, origin: NodeId, dests: impl Into<DestList>) -> Self {
         MulticastPacket {
             seq,
             origin,
-            dests,
+            dests: dests.into(),
             hops: 0,
             state: RoutingState::Greedy,
         }
@@ -66,11 +123,11 @@ impl MulticastPacket {
 
     /// Returns a copy carrying a subset of the destinations and the given
     /// state — the "copy of the packet per group" operation of GMP/LGS.
-    pub fn split(&self, dests: Vec<NodeId>, state: RoutingState) -> Self {
+    pub fn split(&self, dests: impl Into<DestList>, state: RoutingState) -> Self {
         MulticastPacket {
             seq: self.seq,
             origin: self.origin,
-            dests,
+            dests: dests.into(),
             hops: self.hops,
             state,
         }
@@ -233,7 +290,7 @@ impl MulticastPacket {
         Ok(MulticastPacket {
             seq,
             origin,
-            dests,
+            dests: dests.into(),
             hops,
             state,
         })

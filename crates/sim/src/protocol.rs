@@ -71,18 +71,32 @@ pub struct Forward {
 /// The runner invokes [`Protocol::on_packet`] at the source (hop 0) and at
 /// every node that receives a copy, *after* stripping the receiving node
 /// from the destination list and recording the delivery. The protocol
-/// returns the set of copies to transmit next; an empty vector terminates
-/// this copy.
+/// appends the set of copies to transmit next to `out`; appending nothing
+/// terminates this copy.
 pub trait Protocol {
     /// Short display name used in experiment tables ("GMP", "PBM λ=0.3"…).
     fn name(&self) -> String;
 
-    /// Decide how to forward `packet` from `ctx.node`.
-    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward>;
+    /// Decide how to forward `packet` from `ctx.node`, appending the
+    /// outgoing copies to `out`.
+    ///
+    /// `out` is *not* cleared: the simulator owns one forward buffer and
+    /// drains it after each decision, so a fresh decision always starts
+    /// from an empty buffer without the protocol having to know.
+    fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket, out: &mut Vec<Forward>);
 
     /// Called once when a task starts at `source`; protocols that
     /// precompute per-task state (the centralized SMT baseline) hook this.
     fn on_task_start(&mut self, _ctx: &NodeContext<'_>, _source: NodeId, _dests: &[NodeId]) {}
+
+    /// Convenience wrapper collecting the forwards of one decision into a
+    /// fresh vector — for tests and benchmarks; the simulator reuses a
+    /// buffer through [`Protocol::on_packet`] instead.
+    fn route(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+        let mut out = Vec::new();
+        self.on_packet(ctx, packet, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -98,19 +112,20 @@ mod tests {
         fn name(&self) -> String {
             "one-hop-greedy".into()
         }
-        fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
-            packet
-                .dests
-                .iter()
-                .filter_map(|&d| {
-                    ctx.topo
-                        .closest_neighbor_to(ctx.node, ctx.pos_of(d))
-                        .map(|n| Forward {
-                            next_hop: n,
-                            packet: packet.split(vec![d], Default::default()),
-                        })
-                })
-                .collect()
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
+            out.extend(packet.dests.iter().filter_map(|&d| {
+                ctx.topo
+                    .closest_neighbor_to(ctx.node, ctx.pos_of(d))
+                    .map(|n| Forward {
+                        next_hop: n,
+                        packet: packet.split(vec![d], Default::default()),
+                    })
+            }));
         }
     }
 
@@ -142,7 +157,7 @@ mod tests {
         };
         let mut p: Box<dyn Protocol> = Box::new(OneHopGreedy);
         assert_eq!(p.name(), "one-hop-greedy");
-        let fwd = p.on_packet(&ctx, MulticastPacket::new(1, NodeId(0), vec![NodeId(5)]));
+        let fwd = p.route(&ctx, MulticastPacket::new(1, NodeId(0), vec![NodeId(5)]));
         assert!(fwd.len() <= 1);
     }
 }

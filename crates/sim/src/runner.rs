@@ -1,10 +1,30 @@
 //! The per-task simulation loop.
+//!
+//! The loop is written for task throughput: every figure in the paper is an
+//! average over thousands of simulated tasks, so the per-task constant
+//! matters as much as the per-decision constant. Two structural choices
+//! carry that:
+//!
+//! * **Pruned collision bookkeeping.** Past transmissions are kept in
+//!   [`OnAir`], a min-heap ordered by the time each transmission leaves the
+//!   air. A transmission can only destroy a reception whose airtime
+//!   overlaps it, and every pending or future reception starts no earlier
+//!   than `now − max_airtime` (see [`OnAir::prune`]), so entries older than
+//!   that are popped for good instead of being rescanned on every delivery
+//!   — the seed kept every transmission forever, making collision checks
+//!   O(total transmissions) each.
+//! * **Reused buffers.** [`SimScratch`] owns the event queue, the collision
+//!   heap, the liveness/pending tables, and the forward buffer; a warmed
+//!   scratch runs whole tasks without allocating in the loop itself.
+//!
+//! Neither changes any simulated outcome: reports are bit-identical to the
+//! seed's (see `crates/bench/tests/sim_parity.rs` and DESIGN.md).
 
-use std::collections::HashSet;
-
+use gmp_geom::Point;
 use gmp_net::{NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
 
 use crate::config::SimConfig;
 use crate::energy::EnergyModel;
@@ -13,6 +33,116 @@ use crate::metrics::TaskReport;
 use crate::packet::MulticastPacket;
 use crate::protocol::{Forward, NodeContext, Protocol};
 use crate::task::MulticastTask;
+
+/// One past transmission, kept while it can still destroy a reception.
+#[derive(Debug, Clone, Copy)]
+struct AirEntry {
+    start: f64,
+    end: f64,
+    sender: NodeId,
+}
+
+impl PartialEq for AirEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for AirEntry {}
+impl PartialOrd for AirEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for AirEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed on `end`: BinaryHeap is a max-heap, pruning pops the
+        // transmission that leaves the air first.
+        other
+            .end
+            .total_cmp(&self.end)
+            .then_with(|| other.start.total_cmp(&self.start))
+            .then_with(|| other.sender.cmp(&self.sender))
+    }
+}
+
+/// The set of transmissions that may still collide with a reception,
+/// ordered by when they leave the air.
+///
+/// # Pruning invariant
+///
+/// A reception sent at `s` with airtime `a` queries the set at its arrival
+/// time `t = s + a`; an entry `(start, end, sender)` can only match it if
+/// `s < end`. Every reception pending at wall-clock `now` arrives at
+/// `t ≥ now` and has `a ≤ max_airtime` (its airtime fed the running
+/// maximum when it was scheduled), so its query start is
+/// `s = t − a ≥ now − max_airtime`; receptions scheduled *after* `now`
+/// start at `s ≥ now`. Entries with `end ≤ now − max_airtime` therefore
+/// can never match any present or future query and are popped for good —
+/// membership of the live set, and with it every collision verdict, is
+/// identical to the seed's never-pruned list.
+#[derive(Debug, Default)]
+struct OnAir {
+    heap: BinaryHeap<AirEntry>,
+    max_airtime: f64,
+}
+
+impl OnAir {
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.max_airtime = 0.0;
+    }
+
+    fn push(&mut self, start: f64, end: f64, sender: NodeId) {
+        self.max_airtime = self.max_airtime.max(end - start);
+        self.heap.push(AirEntry { start, end, sender });
+    }
+
+    fn prune(&mut self, now: f64) {
+        let horizon = now - self.max_airtime;
+        while let Some(e) = self.heap.peek() {
+            if e.end <= horizon {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &AirEntry> {
+        self.heap.iter()
+    }
+}
+
+/// Reusable per-task working state for [`TaskRunner::run_with_scratch`].
+///
+/// After a warm-up task of comparable size, running further tasks through
+/// the same scratch performs no allocations in the event loop itself:
+/// every buffer is cleared in place. A fresh scratch and a reused one
+/// produce bit-identical [`TaskReport`]s.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    queue: EventQueue,
+    on_air: OnAir,
+    alive: Vec<bool>,
+    /// `pending[i]` — destination `i` not yet reached. Indexed by node id;
+    /// the final sweep reads failures out in ascending id order, which is
+    /// exactly the sorted order the report promises.
+    pending: Vec<bool>,
+    pending_count: usize,
+    /// First-delivery records as `(dest, hops, time)`; folded into the
+    /// report's ordered maps once per task instead of paying tree inserts
+    /// inside the loop.
+    deliveries: Vec<(NodeId, u32, f64)>,
+    /// The single forward buffer every [`Protocol::on_packet`] appends to.
+    forwards: Vec<Forward>,
+}
+
+impl SimScratch {
+    /// Fresh, empty working state.
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+}
 
 /// Runs multicast tasks over a fixed topology and configuration.
 #[derive(Debug, Clone, Copy)]
@@ -47,14 +177,43 @@ impl<'a> TaskRunner<'a> {
         task: &MulticastTask,
         seed: u64,
     ) -> TaskReport {
+        let mut scratch = SimScratch::new();
+        self.run_with_scratch(protocol, task, seed, &mut scratch)
+    }
+
+    /// [`TaskRunner::run_seeded`] through a caller-owned [`SimScratch`]:
+    /// the task-throughput hot path. Steady-state (after a warm-up task of
+    /// comparable size) the event loop performs zero heap allocations.
+    pub fn run_with_scratch(
+        &self,
+        protocol: &mut dyn Protocol,
+        task: &MulticastTask,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) -> TaskReport {
         let mut report = TaskReport::new(protocol.name());
         let energy = EnergyModel::from_config(self.config);
-        let positions = self.topo.positions();
+        let positions = self.topo.positions_ref();
         let mut rng = StdRng::seed_from_u64(seed);
+
+        let SimScratch {
+            queue,
+            on_air,
+            alive,
+            pending,
+            pending_count,
+            deliveries,
+            forwards,
+        } = scratch;
+        queue.reset();
+        on_air.clear();
+        deliveries.clear();
+        forwards.clear();
 
         // Failure injection: sample dead nodes (never the source, so the
         // task can at least start).
-        let mut alive = vec![true; self.topo.len()];
+        alive.clear();
+        alive.resize(self.topo.len(), true);
         if self.config.node_failure_prob > 0.0 {
             for (i, a) in alive.iter_mut().enumerate() {
                 if NodeId(i as u32) != task.source
@@ -65,11 +224,17 @@ impl<'a> TaskRunner<'a> {
             }
         }
 
-        let mut pending: HashSet<NodeId> = task.dests.iter().copied().collect();
-        let mut queue = EventQueue::new();
+        pending.clear();
+        pending.resize(self.topo.len(), false);
+        *pending_count = 0;
+        for &d in &task.dests {
+            if !pending[d.index()] {
+                pending[d.index()] = true;
+                *pending_count += 1;
+            }
+        }
+
         let mut events_processed = 0usize;
-        // All transmissions as (start, end, sender) for the collision model.
-        let mut on_air: Vec<(f64, f64, NodeId)> = Vec::new();
 
         let ctx_at = |node: NodeId| NodeContext {
             topo: self.topo,
@@ -81,15 +246,15 @@ impl<'a> TaskRunner<'a> {
 
         // The source processes the initial packet at t = 0.
         let initial = MulticastPacket::new(0, task.source, task.dests.clone());
-        let forwards = protocol.on_packet(&ctx_at(task.source), initial);
+        protocol.on_packet(&ctx_at(task.source), initial, forwards);
         self.transmit_jittered(
             task.source,
             forwards,
-            &mut queue,
+            queue,
             &mut report,
             &energy,
-            &positions,
-            &mut on_air,
+            positions,
+            on_air,
             &mut rng,
         );
 
@@ -120,106 +285,128 @@ impl<'a> TaskRunner<'a> {
             // node (or the half-duplex receiver itself) transmitted during
             // its airtime. The link layer retries with backoff, up to the
             // configured budget (802.11-style), paying for each attempt.
-            if self.config.collisions && self.collides(&on_air, sent_at, time, from, to) {
-                if retries < self.config.max_retransmissions {
-                    let airtime = time - sent_at;
-                    let backoff = if self.config.tx_jitter_s > 0.0 {
-                        rng.gen_range(0.0..=self.config.tx_jitter_s * (retries as f64 + 1.0))
+            if self.config.collisions {
+                on_air.prune(time);
+                if self.collides(on_air, sent_at, time, from, to) {
+                    if retries < self.config.max_retransmissions {
+                        let airtime = time - sent_at;
+                        let backoff = if self.config.tx_jitter_s > 0.0 {
+                            rng.gen_range(0.0..=self.config.tx_jitter_s * (retries as f64 + 1.0))
+                        } else {
+                            airtime
+                        };
+                        let link_m = self.topo.pos(from).dist(self.topo.pos(to));
+                        let listeners = self.topo.neighbors(from).len();
+                        report.transmissions += 1;
+                        report.bytes_transmitted += self.config.message_bytes;
+                        report.links.push((from, to));
+                        report.energy_j += energy.transmission_energy(
+                            self.config.message_bytes,
+                            listeners,
+                            link_m,
+                        );
+                        let resend_at = time + backoff;
+                        report.link_times_s.push(resend_at);
+                        on_air.push(resend_at, resend_at + airtime, from);
+                        queue.schedule(
+                            resend_at + airtime,
+                            Event::Deliver {
+                                to,
+                                from,
+                                sent_at: resend_at,
+                                retries: retries + 1,
+                                packet,
+                            },
+                        );
                     } else {
-                        airtime
-                    };
-                    let link_m = self.topo.pos(from).dist(self.topo.pos(to));
-                    let listeners = self.topo.neighbors(from).len();
-                    report.transmissions += 1;
-                    report.bytes_transmitted += self.config.message_bytes;
-                    report.links.push((from, to));
-                    report.energy_j +=
-                        energy.transmission_energy(self.config.message_bytes, listeners, link_m);
-                    let resend_at = time + backoff;
-                    report.link_times_s.push(resend_at);
-                    on_air.push((resend_at, resend_at + airtime, from));
-                    queue.schedule(
-                        resend_at + airtime,
-                        Event::Deliver {
-                            to,
-                            from,
-                            sent_at: resend_at,
-                            retries: retries + 1,
-                            packet,
-                        },
-                    );
-                } else {
-                    report.dropped_packets += 1;
+                        report.dropped_packets += 1;
+                    }
+                    continue;
                 }
-                continue;
             }
             // Record delivery and strip the receiving node.
             if packet.dests.contains(&to) {
                 packet.dests.retain(|&d| d != to);
-                if pending.remove(&to) {
-                    report.delivery_hops.insert(to, packet.hops);
-                    report.delivery_times_s.insert(to, time);
+                if pending[to.index()] {
+                    pending[to.index()] = false;
+                    *pending_count -= 1;
+                    deliveries.push((to, packet.hops, time));
                     report.completion_time_s = report.completion_time_s.max(time);
                 }
             }
             if packet.dests.is_empty() {
                 continue;
             }
-            let forwards = protocol.on_packet(&ctx_at(to), packet);
+            protocol.on_packet(&ctx_at(to), packet, forwards);
             self.transmit_jittered(
                 to,
                 forwards,
-                &mut queue,
+                queue,
                 &mut report,
                 &energy,
-                &positions,
-                &mut on_air,
+                positions,
+                on_air,
                 &mut rng,
             );
         }
 
-        let mut failed: Vec<NodeId> = pending.into_iter().collect();
-        failed.sort();
-        report.failed_dests = failed;
+        for &(to, hops, time) in deliveries.iter() {
+            report.delivery_hops.insert(to, hops);
+            report.delivery_times_s.insert(to, time);
+        }
+        if *pending_count > 0 {
+            report.failed_dests.extend(
+                (0..self.topo.len())
+                    .filter(|&i| pending[i])
+                    .map(|i| NodeId(i as u32)),
+            );
+        }
         report
     }
 
     /// `true` if the transmission `[start, end]` from `from` to `to`
     /// overlaps another transmission audible at `to` (protocol-model
     /// interference), or if `to` itself was transmitting (half-duplex).
-    fn collides(
-        &self,
-        on_air: &[(f64, f64, NodeId)],
-        start: f64,
-        end: f64,
-        from: NodeId,
-        to: NodeId,
-    ) -> bool {
+    ///
+    /// Audibility uses the precomputed adjacency as a fast accept: `to`'s
+    /// neighbor set is exactly the nodes whose squared distance rounded to
+    /// at most `rr²`, and `sqrt` of a correctly-rounded square is exact, so
+    /// membership implies `dist ≤ rr`. Non-members fall into a few-ulp
+    /// boundary band where the seed's exact `dist ≤ rr` comparison is
+    /// replayed verbatim; anything beyond the band is rejected without a
+    /// square root.
+    fn collides(&self, on_air: &OnAir, start: f64, end: f64, from: NodeId, to: NodeId) -> bool {
         let rr = self.config.radio_range;
-        on_air.iter().any(|&(a, b, sender)| {
-            sender != from
-                && a < end
-                && start < b
-                && (sender == to || self.topo.pos(sender).dist(self.topo.pos(to)) <= rr)
+        let rr2_fuzz = rr * rr * (1.0 + 1e-12);
+        let to_pos = self.topo.pos(to);
+        on_air.iter().any(|e| {
+            e.sender != from
+                && e.start < end
+                && start < e.end
+                && (e.sender == to || self.topo.neighbors(to).binary_search(&e.sender).is_ok() || {
+                    let d2 = self.topo.pos(e.sender).dist_sq(to_pos);
+                    d2 <= rr2_fuzz && self.topo.pos(e.sender).dist(to_pos) <= rr
+                })
         })
     }
 
     /// Applies hop caps, accounts energy/bytes, and schedules deliveries
-    /// for the copies a protocol decided to send from `sender`, with the
-    /// configured carrier-sense jitter.
+    /// for the copies a protocol decided to send from `sender` (drained
+    /// from the shared forward buffer), with the configured carrier-sense
+    /// jitter.
     #[allow(clippy::too_many_arguments)]
     fn transmit_jittered(
         &self,
         sender: NodeId,
-        forwards: Vec<Forward>,
+        forwards: &mut Vec<Forward>,
         queue: &mut EventQueue,
         report: &mut TaskReport,
         energy: &EnergyModel,
-        positions: &[gmp_geom::Point],
-        on_air: &mut Vec<(f64, f64, NodeId)>,
+        positions: &[Point],
+        on_air: &mut OnAir,
         rng: &mut StdRng,
     ) {
-        for mut fwd in forwards {
+        for mut fwd in forwards.drain(..) {
             assert!(
                 self.topo.neighbors(sender).contains(&fwd.next_hop),
                 "protocol bug: {} forwarded to non-neighbor {}",
@@ -238,15 +425,12 @@ impl<'a> TaskRunner<'a> {
             };
             let link_m = self.topo.pos(sender).dist(self.topo.pos(fwd.next_hop));
             // Under power control only nodes within the (reduced) radius
-            // overhear the transmission.
+            // overhear the transmission; the cutoff is a binary search in
+            // the distance-sorted neighbor list instead of an O(degree)
+            // filter.
             let listeners = if self.config.power_control.is_some() {
-                self.topo
-                    .neighbors(sender)
-                    .iter()
-                    .filter(|&&n| {
-                        self.topo.pos(sender).dist(self.topo.pos(n)) <= link_m + gmp_geom::EPS
-                    })
-                    .count()
+                let dists = self.topo.neighbor_distances(sender);
+                dists.partition_point(|&d| d <= link_m + gmp_geom::EPS)
             } else {
                 self.topo.neighbors(sender).len()
             };
@@ -263,7 +447,7 @@ impl<'a> TaskRunner<'a> {
             let sent_at = queue.now() + jitter;
             let arrival = sent_at + energy.airtime(bytes);
             if self.config.collisions {
-                on_air.push((sent_at, arrival, sender));
+                on_air.push(sent_at, arrival, sender);
             }
             queue.schedule(
                 arrival,
@@ -300,28 +484,29 @@ mod tests {
         fn name(&self) -> String {
             "greedy".into()
         }
-        fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
-            packet
-                .dests
-                .iter()
-                .filter_map(|&d| {
-                    let target = ctx.pos_of(d);
-                    let here = ctx.pos().dist(target);
-                    ctx.neighbors()
-                        .iter()
-                        .copied()
-                        .filter(|&n| ctx.pos_of(n).dist(target) < here)
-                        .min_by(|&a, &b| {
-                            ctx.pos_of(a)
-                                .dist(target)
-                                .total_cmp(&ctx.pos_of(b).dist(target))
-                        })
-                        .map(|n| Forward {
-                            next_hop: n,
-                            packet: packet.split(vec![d], RoutingState::Greedy),
-                        })
-                })
-                .collect()
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
+            out.extend(packet.dests.iter().filter_map(|&d| {
+                let target = ctx.pos_of(d);
+                let here = ctx.pos().dist(target);
+                ctx.neighbors()
+                    .iter()
+                    .copied()
+                    .filter(|&n| ctx.pos_of(n).dist(target) < here)
+                    .min_by(|&a, &b| {
+                        ctx.pos_of(a)
+                            .dist(target)
+                            .total_cmp(&ctx.pos_of(b).dist(target))
+                    })
+                    .map(|n| Forward {
+                        next_hop: n,
+                        packet: packet.split(vec![d], RoutingState::Greedy),
+                    })
+            }));
         }
     }
 
@@ -331,16 +516,21 @@ mod tests {
         fn name(&self) -> String {
             "ping-pong".into()
         }
-        fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
             let other = if ctx.node == NodeId(0) {
                 NodeId(1)
             } else {
                 NodeId(0)
             };
-            vec![Forward {
+            out.push(Forward {
                 next_hop: other,
                 packet,
-            }]
+            });
         }
     }
 
@@ -350,14 +540,16 @@ mod tests {
         fn name(&self) -> String {
             "flood".into()
         }
-        fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
-            ctx.neighbors()
-                .iter()
-                .map(|&n| Forward {
-                    next_hop: n,
-                    packet: packet.clone(),
-                })
-                .collect()
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
+            out.extend(ctx.neighbors().iter().map(|&n| Forward {
+                next_hop: n,
+                packet: packet.clone(),
+            }));
         }
     }
 
@@ -467,26 +659,27 @@ mod tests {
         fn name(&self) -> String {
             "cross-fire".into()
         }
-        fn on_packet(&mut self, ctx: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
             if ctx.node == NodeId(1) && packet.hops == 0 {
-                vec![
-                    Forward {
-                        next_hop: NodeId(0),
-                        packet: packet.split(vec![NodeId(0), NodeId(2)], RoutingState::Greedy),
-                    },
-                    Forward {
-                        next_hop: NodeId(2),
-                        packet: packet.split(vec![NodeId(0), NodeId(2)], RoutingState::Greedy),
-                    },
-                ]
+                out.push(Forward {
+                    next_hop: NodeId(0),
+                    packet: packet.split(vec![NodeId(0), NodeId(2)], RoutingState::Greedy),
+                });
+                out.push(Forward {
+                    next_hop: NodeId(2),
+                    packet: packet.split(vec![NodeId(0), NodeId(2)], RoutingState::Greedy),
+                });
             } else if ctx.node != NodeId(1) {
                 // Bounce the remaining destination back toward the source.
-                vec![Forward {
+                out.push(Forward {
                     next_hop: NodeId(1),
                     packet: packet.clone(),
-                }]
-            } else {
-                Vec::new()
+                });
             }
         }
     }
@@ -524,6 +717,147 @@ mod tests {
         let plain_config = line_config();
         let plain = TaskRunner::new(&topo, &plain_config).run(&mut CrossFire, &task);
         assert_eq!(plain.dropped_packets, 0);
+    }
+
+    /// Sends two copies n0→n1 back-to-back; n1 replies to the first, so
+    /// n1's own transmission window starts at the exact instant the second
+    /// copy's reception window ends.
+    struct TouchingWindows;
+    impl Protocol for TouchingWindows {
+        fn name(&self) -> String {
+            "touching-windows".into()
+        }
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
+            if ctx.node == NodeId(0) && packet.hops == 0 {
+                out.push(Forward {
+                    next_hop: NodeId(1),
+                    packet: packet.split(vec![NodeId(0)], RoutingState::Greedy),
+                });
+                out.push(Forward {
+                    next_hop: NodeId(1),
+                    packet: packet.split(vec![NodeId(1)], RoutingState::Greedy),
+                });
+            } else if ctx.node == NodeId(1) {
+                // Bounce the reply marker back to the source.
+                out.push(Forward {
+                    next_hop: NodeId(0),
+                    packet,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_touching_windows_do_not_collide() {
+        // Interference needs a strict overlap: `a < end && start < b`.
+        // Here every pair of windows at the receiver touches at one
+        // instant — the second copy's reception `[0, τ]` against n1's
+        // reply transmission `[τ, 2τ]`, and the reply's reception at n0
+        // against n0's own `[0, τ]` sends — so nothing may be destroyed,
+        // not even via the half-duplex rule.
+        let positions = vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)];
+        let topo = Topology::from_positions(positions, Aabb::square(100.0), 12.0);
+        let config = line_config().with_collisions(true);
+        let runner = TaskRunner::new(&topo, &config);
+        let task = MulticastTask::new(NodeId(0), vec![NodeId(1)]);
+        let report = runner.run(&mut TouchingWindows, &task);
+        assert!(
+            report.delivered_all(),
+            "touching (non-overlapping) windows must not collide: {report:?}"
+        );
+        assert_eq!(report.dropped_packets, 0);
+        assert_eq!(report.transmissions, 3);
+    }
+
+    /// Like [`TouchingWindows`], but the second copy carries two
+    /// destination entries, so under size-dependent airtime it stays in
+    /// the air longer and arrives *while* n1 is transmitting its reply.
+    struct OverrunWindows;
+    impl Protocol for OverrunWindows {
+        fn name(&self) -> String {
+            "overrun-windows".into()
+        }
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
+            if ctx.node == NodeId(0) && packet.hops == 0 {
+                out.push(Forward {
+                    next_hop: NodeId(1),
+                    packet: packet.split(vec![NodeId(0)], RoutingState::Greedy),
+                });
+                out.push(Forward {
+                    next_hop: NodeId(1),
+                    packet: packet.split(vec![NodeId(1), NodeId(0)], RoutingState::Greedy),
+                });
+            } else if ctx.node == NodeId(1) {
+                out.push(Forward {
+                    next_hop: NodeId(0),
+                    packet,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn half_duplex_receiver_destroys_overlapping_reception() {
+        // Destination entries cost 20 bytes each, so the two-entry copy's
+        // airtime is strictly between 1× and 2× the one-entry copy's:
+        // it arrives at n1 inside n1's own reply window `[τ, 2τ]` and the
+        // `sender == to` (half-duplex) rule must kill it — n1 was
+        // transmitting, n1 cannot simultaneously receive. The reply then
+        // dies symmetrically at n0, whose second send is still in the air.
+        let positions = vec![Point::new(0.0, 0.0), Point::new(8.0, 0.0)];
+        let topo = Topology::from_positions(positions, Aabb::square(100.0), 12.0);
+        let config = line_config()
+            .with_collisions(true)
+            .with_size_dependent_airtime(true);
+        let runner = TaskRunner::new(&topo, &config);
+        let task = MulticastTask::new(NodeId(0), vec![NodeId(1)]);
+        let report = runner.run(&mut OverrunWindows, &task);
+        assert_eq!(
+            report.failed_dests,
+            vec![NodeId(1)],
+            "half-duplex reception must be destroyed: {report:?}"
+        );
+        assert_eq!(report.dropped_packets, 2);
+        assert_eq!(report.transmissions, 3);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn backoff_chains_with_expiring_entries_stay_exact() {
+        // CrossFire's two bounces collide; with no jitter the backoff
+        // equals the airtime, so both copies retry in lockstep windows
+        // `[3τ,4τ]`, `[5τ,6τ]`, `[7τ,8τ]` and collide every round until
+        // the budget runs out. By the later rounds every earlier window
+        // has left the pruning horizon (`now − max_airtime`) and been
+        // popped mid-task — the verdicts must come out identical to the
+        // seed's never-pruned bookkeeping: one collision per copy per
+        // round, nothing more.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(8.0, 0.0),
+            Point::new(16.0, 0.0),
+        ];
+        let topo = Topology::from_positions(positions, Aabb::square(100.0), 12.0);
+        let config = line_config().with_collisions(true).with_retransmissions(3);
+        let runner = TaskRunner::new(&topo, &config);
+        let task = MulticastTask::new(NodeId(1), vec![NodeId(0), NodeId(2)]);
+        let report = runner.run(&mut CrossFire, &task);
+        // Both destinations were reached on the outbound fan-out.
+        assert!(report.delivered_all(), "{report:?}");
+        // 2 outbound + 2 bounces + 2 copies × 3 retries, then both drop.
+        assert_eq!(report.transmissions, 10);
+        assert_eq!(report.dropped_packets, 2);
+        assert!(!report.truncated);
     }
 
     #[test]
@@ -568,6 +902,36 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        // One scratch across a mix of configs and tasks: every report must
+        // be bit-identical to a fresh-scratch run.
+        let topo = line_topology(7);
+        let configs = [
+            line_config(),
+            line_config()
+                .with_collisions(true)
+                .with_tx_jitter(0.002)
+                .with_retransmissions(3),
+            line_config().with_link_loss_prob(0.3),
+        ];
+        let tasks = [
+            MulticastTask::new(NodeId(3), vec![NodeId(0), NodeId(6)]),
+            MulticastTask::new(NodeId(0), vec![NodeId(5)]),
+        ];
+        let mut scratch = SimScratch::new();
+        for config in &configs {
+            let runner = TaskRunner::new(&topo, config);
+            for task in &tasks {
+                for seed in [0, 9] {
+                    let fresh = runner.run_seeded(&mut Greedy, task, seed);
+                    let reused = runner.run_with_scratch(&mut Greedy, task, seed, &mut scratch);
+                    assert_eq!(fresh, reused);
+                }
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "radio range")]
     fn mismatched_radio_range_panics() {
         let topo = line_topology(3);
@@ -583,11 +947,16 @@ mod tests {
             fn name(&self) -> String {
                 "teleport".into()
             }
-            fn on_packet(&mut self, _: &NodeContext<'_>, packet: MulticastPacket) -> Vec<Forward> {
-                vec![Forward {
+            fn on_packet(
+                &mut self,
+                _: &NodeContext<'_>,
+                packet: MulticastPacket,
+                out: &mut Vec<Forward>,
+            ) {
+                out.push(Forward {
                     next_hop: NodeId(4),
                     packet,
-                }]
+                });
             }
         }
         let topo = line_topology(5);

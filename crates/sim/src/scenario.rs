@@ -330,28 +330,25 @@ mod tests {
                 &mut self,
                 ctx: &crate::NodeContext<'_>,
                 packet: crate::MulticastPacket,
-            ) -> Vec<crate::Forward> {
-                packet
-                    .dests
-                    .iter()
-                    .filter_map(|&d| {
-                        let target = ctx.pos_of(d);
-                        let here = ctx.pos().dist(target);
-                        ctx.neighbors()
-                            .iter()
-                            .copied()
-                            .filter(|&n| ctx.pos_of(n).dist(target) < here)
-                            .min_by(|&a, &b| {
-                                ctx.pos_of(a)
-                                    .dist(target)
-                                    .total_cmp(&ctx.pos_of(b).dist(target))
-                            })
-                            .map(|n| crate::Forward {
-                                next_hop: n,
-                                packet: packet.split(vec![d], Default::default()),
-                            })
-                    })
-                    .collect()
+                out: &mut Vec<crate::Forward>,
+            ) {
+                out.extend(packet.dests.iter().filter_map(|&d| {
+                    let target = ctx.pos_of(d);
+                    let here = ctx.pos().dist(target);
+                    ctx.neighbors()
+                        .iter()
+                        .copied()
+                        .filter(|&n| ctx.pos_of(n).dist(target) < here)
+                        .min_by(|&a, &b| {
+                            ctx.pos_of(a)
+                                .dist(target)
+                                .total_cmp(&ctx.pos_of(b).dist(target))
+                        })
+                        .map(|n| crate::Forward {
+                            next_hop: n,
+                            packet: packet.split(vec![d], Default::default()),
+                        })
+                }))
             }
         }
         for task in &s.tasks {

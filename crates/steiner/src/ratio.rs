@@ -53,9 +53,17 @@ pub struct PairEval {
 /// assert!(e.ratio > 0.45 && e.ratio < 0.5);
 /// ```
 pub fn reduction_ratio(s: Point, u: Point, v: Point) -> PairEval {
+    reduction_ratio_with_spokes(s, u, v, s.dist(u) + s.dist(v))
+}
+
+/// [`reduction_ratio`] with the two-spoke cost `d(s,u) + d(s,v)` supplied
+/// by the caller. rrSTR keeps every vertex's source distance in its
+/// scratch, so passing the cached sum skips two square roots per
+/// evaluation; with the same rounded operands the result is bit-identical.
+pub fn reduction_ratio_with_spokes(s: Point, u: Point, v: Point, spokes: f64) -> PairEval {
+    debug_assert_eq!(spokes.to_bits(), (s.dist(u) + s.dist(v)).to_bits());
     let steiner = fermat_point(s, u, v);
-    let denom = s.dist(u) + s.dist(v);
-    if denom <= gmp_geom::EPS {
+    if spokes <= gmp_geom::EPS {
         return PairEval {
             steiner,
             ratio: 0.0,
@@ -65,7 +73,7 @@ pub fn reduction_ratio(s: Point, u: Point, v: Point) -> PairEval {
     let through = s.dist(t) + t.dist(u) + t.dist(v);
     PairEval {
         steiner,
-        ratio: 1.0 - through / denom,
+        ratio: 1.0 - through / spokes,
     }
 }
 

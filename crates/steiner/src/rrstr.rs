@@ -20,12 +20,11 @@
 //! ratio; each of the ≤ `n − 1` virtual destinations inserts `O(n)` new
 //! pairs.
 
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use gmp_geom::Point;
 
-use crate::ratio::reduction_ratio;
+use crate::ratio::reduction_ratio_with_spokes;
 use crate::tree::{SteinerTree, VertexId, VertexKind};
 
 /// Whether rrSTR applies the radio-range-aware pruning of Section 3.3.
@@ -38,52 +37,73 @@ pub enum RadioRange {
     Ignored,
 }
 
-/// A candidate pair in the priority queue. Ordered by reduction ratio with
-/// vertex ids as a deterministic tiebreak.
+/// A candidate pair, packed into one integer so the sort and both queues
+/// compare machine words instead of running a three-branch struct
+/// comparator. Layout, most significant first:
 ///
-/// Invalidation needs no per-pair bookkeeping at all: every unordered pair
-/// enters the queue at most once (the initial double loop, or once against
-/// a brand-new virtual vertex), and within a run a vertex is deactivated
-/// at most once and never reactivated — so a popped entry is valid iff
-/// both endpoints are still active, and a dropped entry is retired for
-/// good simply by not re-queuing it.
+/// ```text
+/// [ mapped ratio : 64 ][ !u : 16 ][ !v : 16 ][ payload : 32 ]
+/// ```
+///
+/// The ratio occupies the high bits through the order-preserving bijection
+/// between `f64`s under `total_cmp` and `u64`s (flip all bits of
+/// negatives, flip the sign bit of positives), so `u128 >` reproduces
+/// "higher ratio first". The complemented vertex ids reproduce the
+/// "smaller id first" tiebreak. The payload (exact flag + Fermat-cache
+/// index, see [`RrstrScratch::fermat`]) takes no part in the ordering
+/// semantics: two live entries can never agree on `(ratio, u, v)` — every
+/// unordered pair enters the queue at most once as a bound and once,
+/// *after* that bound was consumed, as an exact re-queue — so the payload
+/// bits never decide a comparison between live entries.
+///
+/// Invalidation needs no per-pair bookkeeping at all: within a run a
+/// vertex is deactivated at most once and never reactivated — so a popped
+/// entry is valid iff both endpoints are still active, and a dropped entry
+/// is retired for good simply by not re-queuing it.
 ///
 /// Pairs enter the queue with a cheap *upper bound* on their ratio
-/// (`exact == false`); the exact ratio is only computed when the entry
-/// surfaces while both endpoints are still active, at which point it is
-/// either taken immediately (if it still beats the queue) or re-queued as
-/// `exact == true`. Most pairs go stale before ever surfacing, so they
-/// never pay for a Fermat evaluation. Vertex ids are `u16` and the
-/// Steiner point is not stored (it is recomputed for the handful of
-/// entries that win the queue), keeping the entry at 16 bytes: the merge
-/// loop is dominated by heap sifts, and halving the entry halves the
-/// memory they move.
-#[derive(Debug, Clone, Copy)]
-struct PairEntry {
-    ratio: f64,
-    u: u16,
-    v: u16,
-    exact: bool,
+/// (payload 0); the exact ratio is only computed when the entry surfaces
+/// while both endpoints are still active, at which point it is either
+/// taken immediately (if it still beats the queue) or re-queued with the
+/// exact flag set and its Steiner point parked in the Fermat cache. Most
+/// pairs go stale before ever surfacing, so they never pay for a Fermat
+/// evaluation.
+type PairKey = u128;
+
+const EXACT_FLAG: u32 = 1 << 31;
+
+/// Packs `(ratio, u, v, payload)` into a [`PairKey`].
+#[inline]
+fn pair_key(ratio: f64, u: u16, v: u16, payload: u32) -> PairKey {
+    let b = ratio.to_bits();
+    let mapped = b ^ (((b as i64 >> 63) as u64) | (1 << 63));
+    ((mapped as u128) << 64) | (((!u) as u128) << 48) | (((!v) as u128) << 32) | payload as u128
 }
 
-impl PartialEq for PairEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
+/// The ratio a key was packed with, exactly (the mapping is a bijection).
+#[inline]
+fn key_ratio(key: PairKey) -> f64 {
+    let mapped = (key >> 64) as u64;
+    f64::from_bits(if mapped >> 63 == 1 {
+        mapped ^ (1 << 63)
+    } else {
+        !mapped
+    })
 }
-impl Eq for PairEntry {}
-impl PartialOrd for PairEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// The `(u, v)` endpoints a key was packed with.
+#[inline]
+fn key_uv(key: PairKey) -> (VertexId, VertexId) {
+    (
+        (!(key >> 48) as u16) as VertexId,
+        (!(key >> 32) as u16) as VertexId,
+    )
 }
-impl Ord for PairEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.ratio
-            .total_cmp(&other.ratio)
-            .then_with(|| other.u.cmp(&self.u))
-            .then_with(|| other.v.cmp(&self.v))
-    }
+
+/// The payload a key was packed with (exact flag + Fermat-cache index).
+#[inline]
+fn key_payload(key: PairKey) -> u32 {
+    key as u32
 }
 
 /// Reusable working state for [`rrstr_into`].
@@ -104,11 +124,16 @@ impl Ord for PairEntry {
 #[derive(Debug, Clone, Default)]
 pub struct RrstrScratch {
     /// Initial pairs, descending; `sorted[cursor..]` are unconsumed.
-    sorted: Vec<PairEntry>,
+    sorted: Vec<PairKey>,
     cursor: usize,
     /// Entries born during the merge loop — O(k) of them, so the sifts
     /// the initial pairs avoid stay cheap for the few that need them.
-    side: BinaryHeap<PairEntry>,
+    side: BinaryHeap<PairKey>,
+    /// Steiner points of exact re-queued entries, indexed by the key
+    /// payload: when such an entry finally wins the queue its Fermat
+    /// point is read back instead of re-derived (positions never change,
+    /// so the cached point is the same value the seed recomputed).
+    fermat: Vec<Point>,
     active: Vec<bool>,
     /// Per-vertex distance to the source, computed once at registration —
     /// the bound in [`pair_entry`] reads two of these instead of taking
@@ -198,7 +223,7 @@ pub fn rrstr(source: Point, dests: &[Point], mode: RadioRange) -> SteinerTree {
 /// triples). The exact ratio and Fermat point are computed lazily when
 /// the entry surfaces still-valid in the merge loop.
 #[inline]
-fn pair_entry(scratch: &RrstrScratch, tree: &SteinerTree, u: VertexId, v: VertexId) -> PairEntry {
+fn pair_entry(scratch: &RrstrScratch, tree: &SteinerTree, u: VertexId, v: VertexId) -> PairKey {
     let (a, b) = (u.min(v), u.max(v));
     let (pa, pb) = (tree.pos(a), tree.pos(b));
     let spokes = scratch.dist_s[a] + scratch.dist_s[b];
@@ -207,12 +232,7 @@ fn pair_entry(scratch: &RrstrScratch, tree: &SteinerTree, u: VertexId, v: Vertex
     } else {
         0.5 - pa.dist(pb) / (2.0 * spokes)
     };
-    PairEntry {
-        ratio: bound + 1e-9,
-        u: a as u16,
-        v: b as u16,
-        exact: false,
-    }
+    pair_key(bound + 1e-9, a as u16, b as u16, 0)
 }
 
 /// [`rrstr`] writing into a caller-owned tree and scratch: the per-packet
@@ -230,6 +250,7 @@ pub fn rrstr_into(
     scratch.sorted.clear();
     scratch.cursor = 0;
     scratch.side.clear();
+    scratch.fermat.clear();
     scratch.active.clear();
     scratch.dist_s.clear();
     scratch.active_count = 0;
@@ -253,24 +274,58 @@ pub fn rrstr_into(
     pairs.sort_unstable_by(|a, b| b.cmp(a));
     scratch.sorted = pairs;
 
+    // Whether the two-active endgame below already consumed its pair.
+    let mut endgame_taken = false;
     loop {
         // Find the pair with the largest reduction ratio whose endpoints
         // are both still active, skipping stale entries (lazy deletion —
-        // see [`PairEntry`] for why the activity flags alone decide
+        // see [`PairKey`] for why the activity flags alone decide
         // validity). With fewer than two active vertices every remaining
         // entry is stale, so the O(k²) tail left in the queue after the
         // final merge is skipped wholesale instead of drained pop by pop.
         let entry = if scratch.active_count < 2 {
             None
+        } else if scratch.active_count == 2 {
+            // Endgame: exactly one live pair remains, so instead of
+            // draining the queue down to it, evaluate it directly. This
+            // is the identical decision the drain would reach: selection
+            // only ever yields this pair (every other entry is stale),
+            // the merge step below depends only on `(u, v, t)` — all
+            // recomputed from positions, bit-identically — and if the
+            // pair was already consumed *and dropped* by a Section 3.3
+            // branch earlier, re-running that branch deterministically
+            // re-drops it, after which the `endgame_taken` flag routes
+            // straight to the terminal connect-to-root case exactly as
+            // the drained queue would. Merges only ever shrink the
+            // active count, so the flag can never mask a fresh pair.
+            if endgame_taken {
+                None
+            } else {
+                endgame_taken = true;
+                let mut actives = scratch
+                    .active
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &a)| a.then_some(i));
+                let u = actives.next().expect("two active vertices");
+                let v = actives.next().expect("two active vertices");
+                let spokes = scratch.dist_s[u] + scratch.dist_s[v];
+                let exact = reduction_ratio_with_spokes(source, tree.pos(u), tree.pos(v), spokes);
+                Some((
+                    pair_key(exact.ratio, u as u16, v as u16, 0),
+                    exact.steiner.location,
+                ))
+            }
         } else {
             loop {
                 // Front of the combined queue: the larger of the sorted
-                // scan head and the side heap top.
+                // scan head and the side heap top (one integer compare —
+                // live entries never tie, see [`PairKey`]).
                 let take_sorted = match (scratch.sorted.get(scratch.cursor), scratch.side.peek()) {
                     (None, None) => break None,
                     (Some(_), None) => true,
                     (None, Some(_)) => false,
-                    (Some(s), Some(h)) => s.cmp(h) == Ordering::Greater,
+                    (Some(s), Some(h)) => s > h,
                 };
                 let e = if take_sorted {
                     let e = scratch.sorted[scratch.cursor];
@@ -279,12 +334,14 @@ pub fn rrstr_into(
                 } else {
                     scratch.side.pop().expect("side checked non-empty")
                 };
-                let (eu, ev) = (e.u as usize, e.v as usize);
+                let (eu, ev) = key_uv(e);
                 if !scratch.active[eu] || !scratch.active[ev] {
                     continue; // stale — never pays for an evaluation
                 }
-                if e.exact {
-                    break Some((e, None));
+                let payload = key_payload(e);
+                if payload & EXACT_FLAG != 0 {
+                    // Its Steiner point was cached when it was re-queued.
+                    break Some((e, scratch.fermat[(payload & !EXACT_FLAG) as usize]));
                 }
                 // A still-valid bound entry: evaluate the pair for real.
                 // If its exact ratio still strictly beats both queue
@@ -292,25 +349,33 @@ pub fn rrstr_into(
                 // exact ratio is at most its bound), so take it now —
                 // carrying the just-computed Fermat point. On a tie,
                 // defer to the queue so the vertex-id tiebreak stays
-                // bit-identical; re-queue at the exact priority.
-                let exact = reduction_ratio(source, tree.pos(eu), tree.pos(ev));
-                debug_assert!(exact.ratio <= e.ratio);
+                // bit-identical; re-queue at the exact priority. The
+                // comparisons use the decoded `f64` ratios with plain
+                // `>`, exactly as the measure defines them (the packed
+                // total order would split the `±0.0` tie differently).
+                let spokes = scratch.dist_s[eu] + scratch.dist_s[ev];
+                let exact = reduction_ratio_with_spokes(source, tree.pos(eu), tree.pos(ev), spokes);
+                debug_assert!(exact.ratio <= key_ratio(e));
                 let beats_rest = [scratch.sorted.get(scratch.cursor), scratch.side.peek()]
                     .into_iter()
                     .flatten()
-                    .all(|top| exact.ratio > top.ratio);
-                let e = PairEntry {
-                    ratio: exact.ratio,
-                    exact: true,
-                    ..e
-                };
+                    .all(|&top| exact.ratio > key_ratio(top));
                 if beats_rest {
-                    break Some((e, Some(exact.steiner.location)));
+                    let e = pair_key(exact.ratio, eu as u16, ev as u16, 0);
+                    break Some((e, exact.steiner.location));
                 }
-                scratch.side.push(e);
+                let idx = scratch.fermat.len() as u32;
+                debug_assert!(idx & EXACT_FLAG == 0);
+                scratch.fermat.push(exact.steiner.location);
+                scratch.side.push(pair_key(
+                    exact.ratio,
+                    eu as u16,
+                    ev as u16,
+                    EXACT_FLAG | idx,
+                ));
             }
         };
-        let Some((e, steiner)) = entry else {
+        let Some((e, t)) = entry else {
             // No distinct active pair remains: the pseudocode's terminal
             // `(u, u)` case — connect each remaining active vertex
             // directly to the source.
@@ -323,12 +388,8 @@ pub fn rrstr_into(
             break;
         };
 
-        let (u, v) = (e.u as usize, e.v as usize);
+        let (u, v) = key_uv(e);
         let (pu, pv) = (tree.pos(u), tree.pos(v));
-        // On the re-queue path the Steiner point is recomputed rather than
-        // carried in the entry; positions never change, so this is the same
-        // point evaluated at conversion time.
-        let t = steiner.unwrap_or_else(|| reduction_ratio(source, pu, pv).steiner.location);
 
         if t.almost_eq(source) {
             // Steiner point collocated with the source: direct spokes.
