@@ -195,6 +195,12 @@ mod tests {
         let config = SimConfig::paper().with_node_count(3);
         let task = MulticastTask::new(NodeId(0), vec![NodeId(2)]);
         let report = TaskRunner::new(&topo, &config).run(&mut DsmRouter::new(), &task);
-        assert_eq!(report.failed_dests, vec![NodeId(2)]);
+        assert_eq!(
+            report.failed_dests,
+            vec![gmp_sim::FailedDest::new(
+                NodeId(2),
+                gmp_sim::FailureCause::Disconnected
+            )]
+        );
     }
 }

@@ -150,7 +150,13 @@ mod tests {
         let config = SimConfig::paper().with_node_count(21);
         let task = MulticastTask::new(NodeId(0), vec![NodeId(20)]);
         let report = TaskRunner::new(&topo, &config).run(&mut GrdRouter::new(), &task);
-        assert_eq!(report.failed_dests, vec![NodeId(20)]);
+        assert_eq!(
+            report.failed_dests,
+            vec![gmp_sim::FailedDest::new(
+                NodeId(20),
+                gmp_sim::FailureCause::Disconnected
+            )]
+        );
         assert!(!report.truncated);
     }
 }

@@ -142,7 +142,13 @@ mod tests {
         let config = SimConfig::paper().with_node_count(4);
         let task = MulticastTask::new(NodeId(0), vec![NodeId(2)]);
         let report = TaskRunner::new(&topo, &config).run(&mut LgsRouter::new(), &task);
-        assert_eq!(report.failed_dests, vec![NodeId(2)]);
+        assert_eq!(
+            report.failed_dests,
+            vec![gmp_sim::FailedDest::new(
+                NodeId(2),
+                gmp_sim::FailureCause::Disconnected
+            )]
+        );
         assert!(report.transmissions <= 1);
     }
 
@@ -163,6 +169,7 @@ mod tests {
             topo: &topo,
             node: NodeId(0),
             config: &config,
+            alive: None,
         };
         let fwd = router.route(
             &ctx,

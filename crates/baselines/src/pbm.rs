@@ -331,6 +331,7 @@ mod tests {
             topo: &topo,
             node: NodeId(0),
             config: &config,
+            alive: None,
         };
         let mut pbm = PbmRouter::with_lambda(0.0);
         let fwd = pbm.route(
@@ -358,6 +359,7 @@ mod tests {
             topo: &topo,
             node: NodeId(0),
             config: &config,
+            alive: None,
         };
         let dests = vec![NodeId(4), NodeId(5)];
         let mut thrifty = PbmRouter::with_lambda(0.9);

@@ -211,7 +211,13 @@ mod tests {
         let config = SimConfig::paper().with_node_count(11);
         let task = MulticastTask::new(NodeId(0), vec![NodeId(5), NodeId(10)]);
         let report = TaskRunner::new(&topo, &config).run(&mut SmtRouter::new(), &task);
-        assert_eq!(report.failed_dests, vec![NodeId(10)]);
+        assert_eq!(
+            report.failed_dests,
+            vec![gmp_sim::FailedDest::new(
+                NodeId(10),
+                gmp_sim::FailureCause::Disconnected
+            )]
+        );
         assert!(report.delivery_hops.contains_key(&NodeId(5)));
     }
 }

@@ -38,6 +38,7 @@ proptest! {
             topo: &topo,
             node: task.source,
             config: &config,
+            alive: None,
         };
         for mut proto in protocols() {
             proto.on_task_start(&ctx, task.source, &task.dests);

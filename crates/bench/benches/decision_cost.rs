@@ -22,6 +22,7 @@ fn bench_decisions(c: &mut Criterion) {
             topo: &topo,
             node: task.source,
             config: &config,
+            alive: None,
         };
         let packet = MulticastPacket::new(0, task.source, task.dests.clone());
         group.bench_with_input(BenchmarkId::new("GMP", k), &k, |b, _| {
@@ -93,8 +94,14 @@ fn bench_scratch_vs_fresh(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("scratch_reuse", k), &k, |b, _| {
             let mut scratch = DecisionScratch::new();
             b.iter(|| {
-                let g =
-                    scratch.group_destinations_into(&topo, task.source, &task.dests, true, None);
+                let g = scratch.group_destinations_into(
+                    &topo,
+                    task.source,
+                    &task.dests,
+                    true,
+                    None,
+                    None,
+                );
                 black_box(g.covered.len())
             });
         });
@@ -297,7 +304,7 @@ mod seed_ref {
                 }
                 let group: Vec<NodeId> = terminal_idx.iter().map(|&i| dests[i]).collect();
                 let pivot_pos = tree.pos(pivot);
-                if let Some(n) = find_next_hop(topo, node, pivot_pos, &group, perimeter_entry) {
+                if let Some(n) = find_next_hop(topo, node, pivot_pos, &group, perimeter_entry, None) {
                     out.covered.push(CoveredGroup {
                         dests: group,
                         next_hop: n,

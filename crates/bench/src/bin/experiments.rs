@@ -24,6 +24,8 @@
 //! * `loss` — Figure 15 over a uniformly lossy channel;
 //! * `fig15mac` — Figure 15 with collisions, jitter, and ARQ;
 //! * `mactax` — per-protocol MAC retransmission overhead;
+//! * `campaign` — fault-injection robustness sweep, oracle-judged
+//!   (`BENCH_3.json`);
 //!
 //! or `all` for everything. Results are printed as tables and written as
 //! CSV (plus SVG charts for the figures) under `--out` (default
@@ -665,7 +667,7 @@ fn run_bench(args: &Args) {
     let mut scratch = DecisionScratch::new();
     for _ in 0..2 {
         for t in &tasks {
-            scratch.group_destinations_into(&topo, t.source, &t.dests, true, None);
+            scratch.group_destinations_into(&topo, t.source, &t.dests, true, None, None);
         }
     }
     let rounds = 300usize;
@@ -674,7 +676,7 @@ fn run_bench(args: &Args) {
     let mut covered = 0usize;
     for _ in 0..rounds {
         for t in &tasks {
-            let g = scratch.group_destinations_into(&topo, t.source, &t.dests, true, None);
+            let g = scratch.group_destinations_into(&topo, t.source, &t.dests, true, None, None);
             covered += g.covered.len();
         }
     }
@@ -800,13 +802,145 @@ fn run_bench2(args: &Args) {
     }
 }
 
+/// Formats an f64 for JSON: non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The robustness campaign behind `BENCH_3.json`: crash an increasing
+/// fraction of nodes at t = 0 and let the delivery-guarantee oracle split
+/// every failed destination into justified (graph-disconnected) and
+/// unjustified (protocol-attributable) losses. See EXPERIMENTS.md.
+fn run_campaign(args: &Args) {
+    use gmp_bench::campaign::robustness_campaign;
+    use gmp_sim::FailureCause;
+
+    let config = SimConfig::paper();
+    let protocols = [
+        ProtocolKind::Gmp,
+        ProtocolKind::Lgs,
+        ProtocolKind::Grd,
+        ProtocolKind::Smt,
+    ];
+    let intensities = [0.0, 0.05, 0.10, 0.20];
+    let k = 10usize;
+    eprintln!(
+        "running robustness campaign: intensity ∈ {intensities:?}, k = {k}, {} networks × {} tasks…",
+        args.scale.networks, args.scale.tasks_per_network
+    );
+    let start = Instant::now();
+    let rows = robustness_campaign(&config, &args.scale, &protocols, &intensities, k);
+    eprintln!("campaign finished in {:.1}s", start.elapsed().as_secs_f64());
+
+    let mut table = vec![vec![
+        "intensity".to_string(),
+        "protocol".to_string(),
+        "delivery".to_string(),
+        "justified".to_string(),
+        "unjustified".to_string(),
+        "unjust rate".to_string(),
+        "dest hops".to_string(),
+        "hop overhead".to_string(),
+    ]];
+    for r in &rows {
+        table.push(vec![
+            format!("{:.2}", r.intensity),
+            r.protocol.clone(),
+            format!("{:.4}", r.delivery_ratio),
+            r.justified_failures.to_string(),
+            r.unjustified_failures.to_string(),
+            format!("{:.4}", r.unjustified_rate),
+            format!("{:.2}", r.mean_dest_hops),
+            if r.hop_overhead.is_finite() {
+                format!("{:+.1}%", r.hop_overhead * 100.0)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    println!(
+        "\nRobustness campaign — delivery under node crashes, oracle-judged\n{}",
+        render_table(&table)
+    );
+    let csv_path = args.out.join("campaign.csv");
+    match write_csv(&csv_path, &table) {
+        Ok(()) => eprintln!("wrote {}", csv_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", csv_path.display()),
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"gmp-bench/3\",\n  \"workload\": {\n");
+    json.push_str(&format!("    \"nodes\": {},\n", config.node_count));
+    json.push_str(&format!("    \"k\": {k},\n"));
+    json.push_str(&format!("    \"networks\": {},\n", args.scale.networks));
+    json.push_str(&format!(
+        "    \"tasks_per_network\": {},\n",
+        args.scale.tasks_per_network
+    ));
+    json.push_str(&format!(
+        "    \"intensities\": [{}],\n",
+        intensities
+            .iter()
+            .map(|i| format!("{i}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
+        "    \"protocols\": [{}]\n  }},\n  \"rows\": [\n",
+        protocols
+            .iter()
+            .map(|p| format!("\"{}\"", p.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        let causes = FailureCause::ALL
+            .iter()
+            .map(|c| format!("\"{}\": {}", c.as_str(), r.cause_counts[c.index()]))
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "    {{ \"intensity\": {}, \"protocol\": \"{}\", \"delivered\": {}, \"total_dests\": {}, \
+             \"delivery_ratio\": {}, \"justified_failures\": {}, \"unjustified_failures\": {}, \
+             \"unjustified_rate\": {}, \"mean_dest_hops\": {}, \"total_hops\": {}, \
+             \"hop_overhead\": {}, \"causes\": {{ {} }} }}{}\n",
+            r.intensity,
+            r.protocol,
+            r.delivered,
+            r.total_dests,
+            json_f64(r.delivery_ratio),
+            r.justified_failures,
+            r.unjustified_failures,
+            json_f64(r.unjustified_rate),
+            json_f64(r.mean_dest_hops),
+            json_f64(r.total_hops),
+            json_f64(r.hop_overhead),
+            causes,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("warning: could not create {}: {e}", args.out.display());
+    }
+    let path = args.out.join("BENCH_3.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|bench|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax> \
+                "usage: experiments <all|bench|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax|campaign> \
                  [--quick|--standard|--paper] [--threads N] [--out DIR]"
             );
             return ExitCode::FAILURE;
@@ -827,6 +961,7 @@ fn main() -> ExitCode {
             run_loss(&args);
             run_fig15mac(&args);
             run_mactax(&args);
+            run_campaign(&args);
         }
         "fig11" => run_sweep_figures(&args, &["fig11"]),
         "fig12" => run_sweep_figures(&args, &["fig12"]),
@@ -840,6 +975,7 @@ fn main() -> ExitCode {
         "loss" => run_loss(&args),
         "fig15mac" => run_fig15mac(&args),
         "mactax" => run_mactax(&args),
+        "campaign" => run_campaign(&args),
         "fig15" => run_fig15(&args),
         "overhead" => run_overhead(&args),
         "treelen" => run_treelen(&args),

@@ -110,7 +110,7 @@ pub fn set_worker_threads(n: usize) {
 /// Simple work-stealing parallel map preserving input order. Workers
 /// stream `(index, result)` pairs over a channel; the caller thread
 /// assembles them, so no worker ever blocks on a shared results lock.
-fn parallel_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
+pub(crate) fn parallel_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
 where
     J: Send + Sync,
     R: Send,
@@ -156,11 +156,11 @@ where
         .collect()
 }
 
-fn network_seed(i: usize) -> u64 {
+pub(crate) fn network_seed(i: usize) -> u64 {
     0xA5A5_0000 + i as u64
 }
 
-fn task_seed(net: usize, task: usize) -> u64 {
+pub(crate) fn task_seed(net: usize, task: usize) -> u64 {
     net as u64 * 10_000 + task as u64 + 1
 }
 

@@ -9,6 +9,8 @@
 //!   including the per-task λ sweep that defines "PBM" in Figures 11–14;
 //! * [`experiments`] — the Figure 11/12/14 sweep over the destination
 //!   count, the Figure 15 density sweep, and the extension ablations;
+//! * [`campaign`] — fault-injection robustness campaigns judged by the
+//!   delivery-guarantee oracle (`BENCH_3.json`);
 //! * [`table`] — plain-text table rendering and CSV output;
 //! * [`chart`] — SVG line charts, regenerating the figures themselves.
 
@@ -16,11 +18,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod chart;
 pub mod experiments;
 pub mod protocols;
 pub mod table;
 
+pub use campaign::{robustness_campaign, CampaignRow};
 pub use chart::LineChart;
 pub use experiments::{
     density_sweep, destination_sweep, loss_sweep, mac_tax, mobility_ablation, overhead_ablation,

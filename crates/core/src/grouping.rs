@@ -76,6 +76,11 @@ impl DecisionScratch {
     /// Runs [`group_destinations`] through this scratch, returning the
     /// grouping by reference. Output is bit-identical to the allocating
     /// function; in steady state the call performs zero allocations.
+    /// `alive` is the optional per-node liveness view under an active
+    /// fault plan (see `gmp_sim::NodeContext::alive`): dead neighbors are
+    /// skipped as next-hop candidates, exactly as a beacon-timeout
+    /// neighbor table would drop them. `None` (or an all-`true` slice)
+    /// leaves every decision bit-identical to the fault-free path.
     pub fn group_destinations_into(
         &mut self,
         topo: &Topology,
@@ -83,6 +88,7 @@ impl DecisionScratch {
         dests: &[NodeId],
         radio_range_aware: bool,
         perimeter_entry: Option<Point>,
+        alive: Option<&[bool]>,
     ) -> &Grouping {
         // Recycle the previous decision's group vectors before clearing.
         for mut g in self.grouping.covered.drain(..) {
@@ -128,9 +134,14 @@ impl DecisionScratch {
                 self.candidate
                     .extend(self.terminal_idx.iter().map(|&i| dests[i]));
                 let pivot_pos = tree.pos(pivot);
-                if let Some(n) =
-                    find_next_hop(topo, node, pivot_pos, &self.candidate, perimeter_entry)
-                {
+                if let Some(n) = find_next_hop(
+                    topo,
+                    node,
+                    pivot_pos,
+                    &self.candidate,
+                    perimeter_entry,
+                    alive,
+                ) {
                     let mut group = self.group_pool.pop().unwrap_or_default();
                     group.extend_from_slice(&self.candidate);
                     self.grouping.covered.push(CoveredGroup {
@@ -212,7 +223,7 @@ pub fn group_destinations(
     perimeter_entry: Option<Point>,
 ) -> Grouping {
     let mut scratch = DecisionScratch::new();
-    scratch.group_destinations_into(topo, node, dests, radio_range_aware, perimeter_entry);
+    scratch.group_destinations_into(topo, node, dests, radio_range_aware, perimeter_entry, None);
     std::mem::take(&mut scratch.grouping)
 }
 
@@ -222,12 +233,15 @@ pub fn group_destinations(
 /// total distance to `group` strictly improves on `node`'s own (and, while
 /// recovering from perimeter mode, on the entry point's — see
 /// [`group_destinations`]), or `None` when the group is void from here.
+/// Neighbors marked dead in the optional `alive` view are never
+/// candidates (a beacon-timeout neighbor table would have dropped them).
 pub fn find_next_hop(
     topo: &Topology,
     node: NodeId,
     pivot_pos: Point,
     group: &[NodeId],
     perimeter_entry: Option<Point>,
+    alive: Option<&[bool]>,
 ) -> Option<NodeId> {
     let here = topo.pos(node);
     let total_from = |p: Point| -> f64 { group.iter().map(|&v| p.dist(topo.pos(v))).sum() };
@@ -247,6 +261,14 @@ pub fn find_next_hop(
     let cutoff = bound - gmp_geom::EPS;
     let mut best: Option<(f64, NodeId)> = None;
     'neighbors: for &n in topo.neighbors(node) {
+        // Liveness filter first — before any float work, so an all-true
+        // view is bit-identical to `None` (the zero-fault parity
+        // contract).
+        if let Some(a) = alive {
+            if !a[n.index()] {
+                continue;
+            }
+        }
         let p = topo.pos(n);
         let d2 = p.dist_sq(pivot_pos);
         if let Some((best_d2, _)) = best {
@@ -287,7 +309,14 @@ mod tests {
             ],
             150.0,
         );
-        let hop = find_next_hop(&topo, NodeId(0), Point::new(500.0, 0.0), &[NodeId(2)], None);
+        let hop = find_next_hop(
+            &topo,
+            NodeId(0),
+            Point::new(500.0, 0.0),
+            &[NodeId(2)],
+            None,
+            None,
+        );
         assert_eq!(hop, None);
     }
 
@@ -303,7 +332,14 @@ mod tests {
             ],
             150.0,
         );
-        let hop = find_next_hop(&topo, NodeId(0), Point::new(300.0, 0.0), &[NodeId(3)], None);
+        let hop = find_next_hop(
+            &topo,
+            NodeId(0),
+            Point::new(300.0, 0.0),
+            &[NodeId(3)],
+            None,
+            None,
+        );
         assert_eq!(hop, Some(NodeId(2)));
     }
 
@@ -357,6 +393,7 @@ mod tests {
                 NodeId(0),
                 Point::new(0.0, 250.0),
                 &[NodeId(3), NodeId(4)],
+                None,
                 None
             ),
             None
@@ -372,6 +409,42 @@ mod tests {
         by_hop.sort();
         assert_eq!(by_hop[0], (NodeId(1), vec![NodeId(3)]));
         assert_eq!(by_hop[1], (NodeId(2), vec![NodeId(4)]));
+    }
+
+    #[test]
+    fn dead_neighbors_are_never_next_hops() {
+        // Node 0 with two forward neighbors toward dest 3; the closer one
+        // is preferred, a dead one is skipped, and with both dead the
+        // group is void — while an all-true view changes nothing.
+        let positions = vec![
+            Point::new(0.0, 0.0),   // node 0
+            Point::new(100.0, 0.0), // neighbor 1 (closest to pivot)
+            Point::new(50.0, 80.0), // neighbor 2 (still improves)
+            Point::new(500.0, 0.0), // dest 3
+        ];
+        let topo = topo_from(positions, 150.0);
+        let pivot = Point::new(500.0, 0.0);
+        let group = [NodeId(3)];
+        let pick =
+            |alive: Option<&[bool]>| find_next_hop(&topo, NodeId(0), pivot, &group, None, alive);
+        assert_eq!(pick(None), Some(NodeId(1)));
+        assert_eq!(pick(Some(&[true, true, true, true])), Some(NodeId(1)));
+        assert_eq!(pick(Some(&[true, false, true, true])), Some(NodeId(2)));
+        assert_eq!(pick(Some(&[true, false, false, true])), None);
+
+        let mut scratch = DecisionScratch::new();
+        let g = scratch
+            .group_destinations_into(
+                &topo,
+                NodeId(0),
+                &group,
+                true,
+                None,
+                Some(&[true, false, false, true]),
+            )
+            .clone();
+        assert!(g.covered.is_empty());
+        assert_eq!(g.voids, vec![NodeId(3)]);
     }
 
     #[test]

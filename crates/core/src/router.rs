@@ -178,6 +178,7 @@ impl Protocol for GmpRouter {
             &packet.dests,
             self.config.radio_range_aware,
             prior.map(|p| p.entry),
+            ctx.alive,
         );
         emit(
             self.config,
@@ -362,7 +363,13 @@ mod tests {
         let island = NodeId(30);
         let task = MulticastTask::new(NodeId(0), vec![NodeId(17), island]);
         let report = run(&topo, &config, &mut GmpRouter::new(), &task);
-        assert_eq!(report.failed_dests, vec![island]);
+        assert_eq!(
+            report.failed_dests,
+            vec![gmp_sim::FailedDest::new(
+                island,
+                gmp_sim::FailureCause::Disconnected
+            )]
+        );
         assert!(report.delivery_hops.contains_key(&NodeId(17)));
         assert!(!report.truncated);
     }

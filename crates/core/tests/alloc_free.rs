@@ -53,7 +53,7 @@ fn steady_state_decisions_do_not_allocate() {
     for _ in 0..2 {
         for t in &tasks {
             for &rra in &[true, false] {
-                scratch.group_destinations_into(&topo, t.source, &t.dests, rra, None);
+                scratch.group_destinations_into(&topo, t.source, &t.dests, rra, None, None);
             }
         }
     }
@@ -62,7 +62,7 @@ fn steady_state_decisions_do_not_allocate() {
     let mut decisions = 0usize;
     for t in &tasks {
         for &rra in &[true, false] {
-            let g = scratch.group_destinations_into(&topo, t.source, &t.dests, rra, None);
+            let g = scratch.group_destinations_into(&topo, t.source, &t.dests, rra, None, None);
             // Touch the output so the decisions cannot be optimized away.
             decisions += usize::from(!g.covered.is_empty() || !g.voids.is_empty());
         }

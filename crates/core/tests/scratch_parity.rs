@@ -38,7 +38,7 @@ proptest! {
             let entry = perim.then(|| Point::new(px, py));
             let fresh = group_destinations(&topo, task.source, &task.dests, rra, entry);
             let reused =
-                scratch.group_destinations_into(&topo, task.source, &task.dests, rra, entry);
+                scratch.group_destinations_into(&topo, task.source, &task.dests, rra, entry, None);
             prop_assert_eq!(reused, &fresh);
         }
     }

@@ -1,0 +1,115 @@
+//! Integration test tying [`FaultEvent::LinkChurn`] episodes to the
+//! mobility model that drives them: the links a churn window severs are
+//! exactly the links a [`RandomWaypoint`] walk with the episode's
+//! parameters would have broken over the episode's duration
+//! (intersected with the static topology's adjacency), and
+//! [`broken_link_fraction`] measures the same breakage on the walk's
+//! own snapshots.
+
+use gmp_faults::{FaultPlan, FaultScratch};
+use gmp_net::mobility::{broken_link_fraction, RandomWaypoint};
+use gmp_net::{NodeId, Topology, TopologyConfig};
+
+const SPEED: (f64, f64) = (10.0, 30.0);
+const PAUSE: (f64, f64) = (0.0, 1.0);
+const START: f64 = 2.0;
+const END: f64 = 10.0;
+const WALK_SEED: u64 = 99;
+
+fn setup() -> (Topology, FaultScratch, Vec<bool>) {
+    let topo = Topology::random(&TopologyConfig::new(500.0, 60, 150.0), 11);
+    let plan = FaultPlan::none().with_link_churn(START, END, SPEED, PAUSE, WALK_SEED);
+    let mut scratch = FaultScratch::new();
+    let mut alive = vec![true; topo.len()];
+    scratch.begin_task(&plan, &topo, NodeId(0), &mut alive);
+    (topo, scratch, alive)
+}
+
+/// Replicates the walk the episode embeds and returns the directed links
+/// it breaks, filtered to the static topology's adjacency — the exact
+/// severed set the compiler must produce.
+fn expected_severed(topo: &Topology) -> (Vec<(NodeId, NodeId)>, f64) {
+    let mut walk = RandomWaypoint::new(
+        topo.area(),
+        topo.len(),
+        topo.radio_range(),
+        SPEED,
+        PAUSE,
+        WALK_SEED,
+    );
+    let before = walk.snapshot();
+    walk.advance(END - START);
+    let after = walk.snapshot();
+    let frac = broken_link_fraction(&before, &after);
+    let mut severed = Vec::new();
+    for u in 0..topo.len() {
+        let u_id = NodeId(u as u32);
+        for &v in before.neighbors(u_id) {
+            if !after.neighbors(u_id).contains(&v) && topo.neighbors(u_id).contains(&v) {
+                severed.push((u_id, v));
+            }
+        }
+    }
+    (severed, frac)
+}
+
+#[test]
+fn churn_severs_exactly_the_links_the_walk_breaks() {
+    let (topo, scratch, _alive) = setup();
+    assert!(scratch.has_churn());
+    let (severed, frac) = expected_severed(&topo);
+    assert!(
+        frac > 0.0,
+        "walk breaks links over the episode (else the test is vacuous)"
+    );
+    assert!(
+        !severed.is_empty(),
+        "some broken links overlap the sim adjacency"
+    );
+    let mid = (START + END) / 2.0;
+    for &(u, v) in &severed {
+        assert!(
+            scratch.link_severed(u, v, mid),
+            "{u:?}->{v:?} down mid-window"
+        );
+        assert!(
+            !scratch.link_severed(u, v, START - 0.5),
+            "{u:?}->{v:?} up before the window"
+        );
+        assert!(
+            !scratch.link_severed(u, v, END),
+            "{u:?}->{v:?} restored at the window's exclusive end"
+        );
+    }
+    // Every adjacency link the walk kept stays usable mid-window.
+    let severed_set: std::collections::BTreeSet<(NodeId, NodeId)> =
+        severed.iter().copied().collect();
+    let mut kept_checked = 0usize;
+    for u in 0..topo.len() {
+        let u_id = NodeId(u as u32);
+        for &v in topo.neighbors(u_id) {
+            if !severed_set.contains(&(u_id, v)) {
+                assert!(!scratch.link_severed(u_id, v, mid), "{u_id:?}->{v:?} kept");
+                kept_checked += 1;
+            }
+        }
+    }
+    assert!(kept_checked > 0, "topology has unsevered links");
+}
+
+#[test]
+fn severed_count_matches_the_walk_breakage() {
+    let (topo, scratch, _alive) = setup();
+    let (severed, _) = expected_severed(&topo);
+    let mid = (START + END) / 2.0;
+    let from_scratch: usize = (0..topo.len())
+        .map(|u| {
+            let u_id = NodeId(u as u32);
+            topo.neighbors(u_id)
+                .iter()
+                .filter(|&&v| scratch.link_severed(u_id, v, mid))
+                .count()
+        })
+        .sum();
+    assert_eq!(from_scratch, severed.len());
+}

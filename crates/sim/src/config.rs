@@ -1,5 +1,6 @@
 //! Simulation parameters (the paper's Table 1).
 
+use gmp_faults::FaultPlan;
 use gmp_net::{PlanarKind, TopologyConfig};
 use serde::{Deserialize, Serialize};
 
@@ -29,9 +30,12 @@ pub struct SimConfig {
     /// packet size instead of the fixed `message_bytes` — the
     /// header-overhead ablation. The paper uses fixed-size messages.
     pub size_dependent_airtime: bool,
-    /// Probability that any given node is dead for the whole task
-    /// (failure-injection extension; the paper uses 0).
-    pub node_failure_prob: f64,
+    /// Fault-injection plan (extension): Bernoulli node/link failure
+    /// probabilities plus an optional schedule of timed fault events
+    /// (crashes, regional blackouts, duty-cycle sleep, link churn).
+    /// [`FaultPlan::none`] — the default — reproduces the paper's
+    /// fault-free runs bit-for-bit.
+    pub faults: FaultPlan,
     /// Random per-transmission start jitter in seconds (extension):
     /// approximates carrier-sense/backoff staggering without modeling a
     /// full CSMA MAC. 0 means every forward leaves the instant it is
@@ -50,11 +54,6 @@ pub struct SimConfig {
     /// no backoff, no retransmissions — approximating the contention
     /// losses of the paper's 802.11 substrate without a tuning knob.
     pub collisions: bool,
-    /// Probability that any individual transmission is lost in flight
-    /// (extension): a crude stand-in for the 802.11 collision losses of
-    /// the paper's ns-2 substrate. The paper's protocols send no
-    /// link-layer acknowledgements, so a lost copy is simply gone.
-    pub link_loss_prob: f64,
     /// Optional transmit power control (extension): when set, the
     /// transmit power of each hop scales with the link distance as
     /// `overhead_w + (d / radio_range)^alpha · tx_power_w` instead of the
@@ -107,11 +106,10 @@ impl SimConfig {
             max_path_hops: 100,
             planar: PlanarKindConfig::Gabriel,
             size_dependent_airtime: false,
-            node_failure_prob: 0.0,
+            faults: FaultPlan::none(),
             max_retransmissions: 0,
             tx_jitter_s: 0.0,
             collisions: false,
-            link_loss_prob: 0.0,
             power_control: None,
             max_events: 200_000,
         }
@@ -147,10 +145,10 @@ impl SimConfig {
         self
     }
 
-    /// Sets the node-failure injection probability.
+    /// Sets the Bernoulli node-failure injection probability (routed
+    /// through [`SimConfig::faults`]).
     pub fn with_node_failure_prob(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.node_failure_prob = p;
+        self.faults = self.faults.with_node_failure_prob(p);
         self
     }
 
@@ -173,10 +171,16 @@ impl SimConfig {
         self
     }
 
-    /// Sets the per-transmission loss probability.
+    /// Sets the Bernoulli per-transmission loss probability (routed
+    /// through [`SimConfig::faults`]).
     pub fn with_link_loss_prob(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "probability out of range");
-        self.link_loss_prob = p;
+        self.faults = self.faults.with_link_loss_prob(p);
+        self
+    }
+
+    /// Replaces the whole fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -247,7 +251,7 @@ mod tests {
         assert_eq!(c.radio_range, 99.0);
         assert_eq!(c.max_path_hops, 7);
         assert!(c.size_dependent_airtime);
-        assert_eq!(c.node_failure_prob, 0.25);
+        assert_eq!(c.faults.node_failure_prob, 0.25);
         let t = c.topology_config();
         assert_eq!(t.node_count, 42);
         assert_eq!(t.radio_range, 99.0);
@@ -257,6 +261,23 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_probability_panics() {
         let _ = SimConfig::paper().with_node_failure_prob(1.5);
+    }
+
+    #[test]
+    fn with_faults_replaces_the_whole_plan() {
+        let plan = FaultPlan::none()
+            .with_node_failure_prob(0.1)
+            .with_crash(gmp_net::NodeId(4), 2.0);
+        let c = SimConfig::paper()
+            .with_link_loss_prob(0.5)
+            .with_faults(plan.clone());
+        assert_eq!(c.faults, plan);
+        assert_eq!(c.faults.link_loss_prob, 0.0, "replaced, not merged");
+        // Legacy builders keep composing on top of the installed plan.
+        let c = c.with_link_loss_prob(0.25);
+        assert_eq!(c.faults.node_failure_prob, 0.1);
+        assert_eq!(c.faults.link_loss_prob, 0.25);
+        assert!(c.faults.has_events());
     }
 
     #[test]

@@ -157,6 +157,7 @@ impl<'a> GeocastRunner<'a> {
             topo: self.topo,
             node,
             config: self.config,
+            alive: None,
         };
 
         // Min-heap of (arrival time, tiebreak seq, node, packet).

@@ -20,7 +20,11 @@
 //!   a wire encoding (header-overhead accounting);
 //! * [`TaskRunner`] — runs one multicast task through the event queue and
 //!   produces a [`TaskReport`];
-//! * [`MulticastTask`] — a (source, destination-set) workload item.
+//! * [`MulticastTask`] — a (source, destination-set) workload item;
+//! * [`FaultPlan`] (re-exported from `gmp-faults`) — deterministic fault
+//!   injection: Bernoulli knobs plus timed crashes, regional blackouts,
+//!   duty-cycle sleep, and link churn, with the delivery-guarantee
+//!   oracle classifying every failed destination by [`FailureCause`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +44,7 @@ pub mod task;
 pub use config::SimConfig;
 pub use energy::EnergyModel;
 pub use geocast::{GeocastReport, GeocastRunner, GeocastTask};
+pub use gmp_faults::{FailedDest, FailureCause, FaultEvent, FaultPlan, FaultRegion};
 pub use metrics::TaskReport;
 pub use packet::{DestList, MulticastPacket, RoutingState};
 pub use protocol::{Forward, NodeContext, Protocol};

@@ -4,6 +4,8 @@ use std::collections::BTreeMap;
 
 use gmp_net::NodeId;
 
+pub use gmp_faults::{FailedDest, FailureCause};
+
 /// Everything measured while running one multicast task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskReport {
@@ -19,8 +21,10 @@ pub struct TaskReport {
     /// Simulated time at which each destination was first reached,
     /// seconds (latency CDFs).
     pub delivery_times_s: BTreeMap<NodeId, f64>,
-    /// Destinations never reached (Fig. 15 counts tasks with any of these).
-    pub failed_dests: Vec<NodeId>,
+    /// Destinations never reached, each with its failure cause as
+    /// classified by the delivery-guarantee oracle (Fig. 15 counts tasks
+    /// with any of these), sorted by destination id.
+    pub failed_dests: Vec<FailedDest>,
     /// Packet copies dropped by the per-destination hop cap or perimeter
     /// loop detection.
     pub dropped_packets: usize,
@@ -67,6 +71,19 @@ impl TaskReport {
     /// Number of destinations reached.
     pub fn delivered_count(&self) -> usize {
         self.delivery_hops.len()
+    }
+
+    /// The failed destination ids, without causes (the pre-oracle shape
+    /// of [`TaskReport::failed_dests`]).
+    pub fn failed_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.failed_dests.iter().map(|f| f.dest)
+    }
+
+    /// Failures the oracle could *not* justify from the fault model —
+    /// the destination was reachable on the faulted graph, so the miss
+    /// counts against the protocol.
+    pub fn unjustified_failures(&self) -> impl Iterator<Item = &FailedDest> {
+        self.failed_dests.iter().filter(|f| !f.is_justified())
     }
 
     /// Mean per-destination hop count over the *delivered* destinations
@@ -235,9 +252,20 @@ mod tests {
         let mut r = TaskReport::new("GMP".into());
         r.delivery_hops.insert(NodeId(1), 4);
         r.delivery_hops.insert(NodeId(2), 8);
-        r.failed_dests.push(NodeId(3));
+        r.failed_dests
+            .push(FailedDest::new(NodeId(3), FailureCause::Disconnected));
+        r.failed_dests
+            .push(FailedDest::new(NodeId(4), FailureCause::HopCap));
         assert!(!r.delivered_all());
         assert_eq!(r.delivered_count(), 2);
+        assert_eq!(
+            r.failed_ids().collect::<Vec<_>>(),
+            vec![NodeId(3), NodeId(4)]
+        );
+        assert_eq!(
+            r.unjustified_failures().collect::<Vec<_>>(),
+            vec![&FailedDest::new(NodeId(4), FailureCause::HopCap)]
+        );
         assert_eq!(r.mean_dest_hops(), Some(6.0));
         assert_eq!(r.max_dest_hops(), Some(8));
     }

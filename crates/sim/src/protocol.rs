@@ -21,6 +21,13 @@ pub struct NodeContext<'a> {
     pub node: NodeId,
     /// Simulation parameters (radio range, planar kind, hop cap).
     pub config: &'a SimConfig,
+    /// Per-node liveness under the active fault plan, indexable by
+    /// [`NodeId::index`]. `None` when the run has no timed fault events —
+    /// in a real deployment this view is what neighbor-table beacon
+    /// timeouts provide, so consulting it is *not* a reproduction bug.
+    /// Duty-cycle sleep is intentionally not reflected here (beaconing
+    /// cannot track sub-second sleep windows).
+    pub alive: Option<&'a [bool]>,
 }
 
 impl<'a> NodeContext<'a> {
@@ -54,6 +61,12 @@ impl<'a> NodeContext<'a> {
     /// in a real deployment these travel inside the packet).
     pub fn pos_of(&self, id: NodeId) -> Point {
         self.topo.pos(id)
+    }
+
+    /// Whether `id` is currently believed alive. Always `true` in runs
+    /// without timed fault events (`alive` is `None`).
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive.is_none_or(|a| a[id.index()])
     }
 }
 
@@ -139,8 +152,10 @@ mod tests {
             topo: &topo,
             node: NodeId(0),
             config: &config,
+            alive: None,
         };
         assert_eq!(ctx.pos(), topo.pos(NodeId(0)));
+        assert!(ctx.is_alive(NodeId(59)));
         assert_eq!(ctx.radio_range(), 120.0);
         assert_eq!(ctx.neighbors(), topo.neighbors(NodeId(0)));
         assert!(ctx.planar_neighbors().len() <= ctx.neighbors().len());
@@ -154,6 +169,7 @@ mod tests {
             topo: &topo,
             node: NodeId(0),
             config: &config,
+            alive: None,
         };
         let mut p: Box<dyn Protocol> = Box::new(OneHopGreedy);
         assert_eq!(p.name(), "one-hop-greedy");

@@ -20,6 +20,7 @@
 //! Neither changes any simulated outcome: reports are bit-identical to the
 //! seed's (see `crates/bench/tests/sim_parity.rs` and DESIGN.md).
 
+use gmp_faults::{FailureCause, FaultScratch};
 use gmp_geom::Point;
 use gmp_net::{NodeId, Topology};
 use rand::rngs::StdRng;
@@ -135,6 +136,11 @@ pub struct SimScratch {
     deliveries: Vec<(NodeId, u32, f64)>,
     /// The single forward buffer every [`Protocol::on_packet`] appends to.
     forwards: Vec<Forward>,
+    /// Proximate failure cause per still-pending destination, recorded on
+    /// every packet drop (last write wins) and consumed by the oracle.
+    drop_cause: Vec<FailureCause>,
+    /// Compiled fault-plan state (timed events) and oracle buffers.
+    faults: FaultScratch,
 }
 
 impl SimScratch {
@@ -204,25 +210,31 @@ impl<'a> TaskRunner<'a> {
             pending_count,
             deliveries,
             forwards,
+            drop_cause,
+            faults,
         } = scratch;
         queue.reset();
         on_air.clear();
         deliveries.clear();
         forwards.clear();
 
-        // Failure injection: sample dead nodes (never the source, so the
-        // task can at least start).
+        // Failure injection: sample the Bernoulli dead nodes (never the
+        // source, so the task can at least start), then apply the fault
+        // plan's t = 0 state. The timed-event machinery consumes no task
+        // RNG, keeping Bernoulli-only runs bit-identical to the seed's.
+        let plan = &self.config.faults;
         alive.clear();
         alive.resize(self.topo.len(), true);
-        if self.config.node_failure_prob > 0.0 {
-            for (i, a) in alive.iter_mut().enumerate() {
-                if NodeId(i as u32) != task.source
-                    && rng.gen::<f64>() < self.config.node_failure_prob
-                {
-                    *a = false;
-                }
-            }
+        plan.sample_node_failures(&mut rng, task.source, alive);
+        let has_events = plan.has_events();
+        if has_events {
+            faults.begin_task(plan, self.topo, task.source, alive);
         }
+        let has_duty = has_events && faults.has_duty();
+        let has_churn = has_events && faults.has_churn();
+
+        drop_cause.clear();
+        drop_cause.resize(self.topo.len(), FailureCause::NoRoute);
 
         pending.clear();
         pending.resize(self.topo.len(), false);
@@ -236,17 +248,23 @@ impl<'a> TaskRunner<'a> {
 
         let mut events_processed = 0usize;
 
-        let ctx_at = |node: NodeId| NodeContext {
-            topo: self.topo,
-            node,
-            config: self.config,
-        };
+        // Contexts are built inline (not through a closure) because the
+        // liveness view reborrows `alive`, which `advance_to` also
+        // mutates; the view is only exposed when the plan has timed
+        // events, so fault-free decisions stay bit-identical.
+        {
+            let ctx = NodeContext {
+                topo: self.topo,
+                node: task.source,
+                config: self.config,
+                alive: has_events.then_some(alive.as_slice()),
+            };
+            protocol.on_task_start(&ctx, task.source, &task.dests);
 
-        protocol.on_task_start(&ctx_at(task.source), task.source, &task.dests);
-
-        // The source processes the initial packet at t = 0.
-        let initial = MulticastPacket::new(0, task.source, task.dests.clone());
-        protocol.on_packet(&ctx_at(task.source), initial, forwards);
+            // The source processes the initial packet at t = 0.
+            let initial = MulticastPacket::new(0, task.source, task.dests.clone());
+            protocol.on_packet(&ctx, initial, forwards);
+        }
         self.transmit_jittered(
             task.source,
             forwards,
@@ -256,6 +274,8 @@ impl<'a> TaskRunner<'a> {
             positions,
             on_air,
             &mut rng,
+            pending,
+            drop_cause,
         );
 
         while let Some((time, event)) = queue.pop() {
@@ -271,14 +291,33 @@ impl<'a> TaskRunner<'a> {
                 retries,
                 mut packet,
             } = event;
+            if has_events {
+                faults.advance_to(time, task.source, alive);
+            }
             if !alive[to.index()] {
                 report.dropped_packets += 1;
+                record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
+                continue;
+            }
+            // Duty-cycle sleep: a sleeping receiver misses the copy just
+            // like a dead one, but wakes up again (and the oracle never
+            // excuses the miss).
+            if has_duty && to != task.source && faults.node_asleep(to, time) {
+                report.dropped_packets += 1;
+                record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
+                continue;
+            }
+            // Link churn: the link was severed while the copy was on it.
+            if has_churn && faults.link_severed(from, to, time) {
+                report.dropped_packets += 1;
+                record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkDown);
                 continue;
             }
             // Link-loss injection: the transmission was made (and paid
             // for) but the copy never arrives.
-            if self.config.link_loss_prob > 0.0 && rng.gen::<f64>() < self.config.link_loss_prob {
+            if plan.transmission_lost(&mut rng) {
                 report.dropped_packets += 1;
+                record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkLoss);
                 continue;
             }
             // Collision model: the copy is destroyed if any other audible
@@ -320,6 +359,7 @@ impl<'a> TaskRunner<'a> {
                         );
                     } else {
                         report.dropped_packets += 1;
+                        record_drop(&packet.dests, pending, drop_cause, FailureCause::Collision);
                     }
                     continue;
                 }
@@ -337,7 +377,13 @@ impl<'a> TaskRunner<'a> {
             if packet.dests.is_empty() {
                 continue;
             }
-            protocol.on_packet(&ctx_at(to), packet, forwards);
+            let ctx = NodeContext {
+                topo: self.topo,
+                node: to,
+                config: self.config,
+                alive: has_events.then_some(alive.as_slice()),
+            };
+            protocol.on_packet(&ctx, packet, forwards);
             self.transmit_jittered(
                 to,
                 forwards,
@@ -347,6 +393,8 @@ impl<'a> TaskRunner<'a> {
                 positions,
                 on_air,
                 &mut rng,
+                pending,
+                drop_cause,
             );
         }
 
@@ -355,10 +403,18 @@ impl<'a> TaskRunner<'a> {
             report.delivery_times_s.insert(to, time);
         }
         if *pending_count > 0 {
-            report.failed_dests.extend(
-                (0..self.topo.len())
-                    .filter(|&i| pending[i])
-                    .map(|i| NodeId(i as u32)),
+            // The delivery-guarantee oracle: classify every failure as
+            // justified (dead/disconnected destination) or a protocol
+            // failure carrying the proximate cause of the last drop.
+            faults.classify_failures(
+                self.topo,
+                task.source,
+                has_events,
+                alive,
+                pending,
+                drop_cause,
+                report.truncated,
+                &mut report.failed_dests,
             );
         }
         report
@@ -405,6 +461,8 @@ impl<'a> TaskRunner<'a> {
         positions: &[Point],
         on_air: &mut OnAir,
         rng: &mut StdRng,
+        pending: &[bool],
+        drop_cause: &mut [FailureCause],
     ) {
         for mut fwd in forwards.drain(..) {
             assert!(
@@ -416,6 +474,7 @@ impl<'a> TaskRunner<'a> {
             fwd.packet.hops += 1;
             if fwd.packet.hops > self.config.max_path_hops {
                 report.dropped_packets += 1;
+                record_drop(&fwd.packet.dests, pending, drop_cause, FailureCause::HopCap);
                 continue;
             }
             let bytes = if self.config.size_dependent_airtime {
@@ -463,10 +522,27 @@ impl<'a> TaskRunner<'a> {
     }
 }
 
+/// Records `cause` as the proximate failure cause for every still-pending
+/// destination a dropped copy was carrying (last write wins — by the end
+/// of the run the recorded cause is the one that killed the final copy).
+fn record_drop(
+    dests: &[NodeId],
+    pending: &[bool],
+    drop_cause: &mut [FailureCause],
+    cause: FailureCause,
+) {
+    for &d in dests {
+        if pending[d.index()] {
+            drop_cause[d.index()] = cause;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::packet::RoutingState;
+    use gmp_faults::FailedDest;
     use gmp_geom::{Aabb, Point};
 
     fn line_topology(n: usize) -> Topology {
@@ -621,7 +697,10 @@ mod tests {
         let task = MulticastTask::new(NodeId(0), vec![NodeId(2)]);
         let report = runner.run(&mut PingPong, &task);
         assert!(!report.delivered_all());
-        assert_eq!(report.failed_dests, vec![NodeId(2)]);
+        assert_eq!(
+            report.failed_dests,
+            vec![FailedDest::new(NodeId(2), FailureCause::HopCap)]
+        );
         assert_eq!(report.dropped_packets, 1);
         assert_eq!(report.transmissions, 20);
         assert!(!report.truncated);
@@ -824,7 +903,7 @@ mod tests {
         let report = runner.run(&mut OverrunWindows, &task);
         assert_eq!(
             report.failed_dests,
-            vec![NodeId(1)],
+            vec![FailedDest::new(NodeId(1), FailureCause::Collision)],
             "half-duplex reception must be destroyed: {report:?}"
         );
         assert_eq!(report.dropped_packets, 2);
