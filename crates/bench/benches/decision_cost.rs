@@ -304,7 +304,8 @@ mod seed_ref {
                 }
                 let group: Vec<NodeId> = terminal_idx.iter().map(|&i| dests[i]).collect();
                 let pivot_pos = tree.pos(pivot);
-                if let Some(n) = find_next_hop(topo, node, pivot_pos, &group, perimeter_entry, None) {
+                if let Some(n) = find_next_hop(topo, node, pivot_pos, &group, perimeter_entry, None)
+                {
                     out.covered.push(CoveredGroup {
                         dests: group,
                         next_hop: n,

@@ -641,11 +641,12 @@ fn run_loss(args: &Args) {
 }
 
 /// The fixed perf workload behind `BENCH_1.json`: steady-state forwarding
-/// decisions through one warmed [`gmp_core::DecisionScratch`], full
-/// multicast tasks through the simulator, and the allocation counter
-/// sampled around the decision loop.
+/// decisions through one warmed [`gmp_core::DecisionScratch`] fronted by
+/// the [`gmp_core::TreeCache`] (the decision path as the router actually
+/// runs it), full multicast tasks through the simulator, and the
+/// allocation counter sampled around the decision loop.
 fn run_bench(args: &Args) {
-    use gmp_core::DecisionScratch;
+    use gmp_core::{DecisionScratch, TreeCache};
     use gmp_net::Topology;
     use gmp_sim::MulticastTask;
 
@@ -657,26 +658,46 @@ fn run_bench(args: &Args) {
         .map(|i| MulticastTask::random(&topo, ks[i % ks.len()], 100 + i as u64))
         .collect();
 
-    // Per-hop decision throughput at the source. Two warm-up passes grow
-    // the scratch to its high-water capacities; the measured passes then
-    // run allocation-free (the `alloc_free` test asserts exactly this).
+    // Per-hop decision throughput at the source, through the decision
+    // cache exactly as GmpRouter runs it. Two warm-up passes grow the
+    // scratch to its high-water capacities and populate the cache; the
+    // measured passes then serve verified hits allocation-free (the
+    // `alloc_free` test asserts exactly this).
     eprintln!(
         "bench: decision throughput over {} tasks, k ∈ {ks:?}…",
         tasks.len()
     );
     let mut scratch = DecisionScratch::new();
+    let mut cache = TreeCache::new();
     for _ in 0..2 {
         for t in &tasks {
-            scratch.group_destinations_into(&topo, t.source, &t.dests, true, None, None);
+            cache.group_destinations_cached(
+                &mut scratch,
+                &topo,
+                t.source,
+                &t.dests,
+                true,
+                None,
+                None,
+            );
         }
     }
+    let warm_stats = cache.stats();
     let rounds = 300usize;
     let allocs_before = ALLOCS.load(Ordering::SeqCst);
     let t0 = Instant::now();
     let mut covered = 0usize;
     for _ in 0..rounds {
         for t in &tasks {
-            let g = scratch.group_destinations_into(&topo, t.source, &t.dests, true, None, None);
+            let g = cache.group_destinations_cached(
+                &mut scratch,
+                &topo,
+                t.source,
+                &t.dests,
+                true,
+                None,
+                None,
+            );
             covered += g.covered.len();
         }
     }
@@ -686,6 +707,13 @@ fn run_bench(args: &Args) {
     let decisions_per_sec = decisions as f64 / decision_secs;
     let allocs_per_decision = (allocs_after - allocs_before) as f64 / decisions as f64;
     assert!(covered > 0, "decision workload routed nothing");
+    // Steady-state cache behaviour over the measured window only.
+    let end_stats = cache.stats();
+    let cache_hits = end_stats.hits - warm_stats.hits;
+    let cache_misses = end_stats.misses - warm_stats.misses;
+    let cache_fallbacks = end_stats.fallbacks - warm_stats.fallbacks;
+    let cache_evictions = end_stats.evictions - warm_stats.evictions;
+    let cache_hit_rate = cache_hits as f64 / decisions as f64;
 
     // End-to-end task throughput: the whole simulator loop (routing at
     // every hop, delivery bookkeeping, energy accounting).
@@ -706,7 +734,7 @@ fn run_bench(args: &Args) {
 
     let wall_clock_s = wall_start.elapsed().as_secs_f64();
     let json = format!(
-        "{{\n  \"schema\": \"gmp-bench/1\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k_values\": [5, 15, 25],\n    \"decision_samples\": {decisions},\n    \"task_samples\": {task_count}\n  }},\n  \"decisions_per_sec\": {decisions_per_sec:.1},\n  \"tasks_per_sec\": {tasks_per_sec:.1},\n  \"wall_clock_s\": {wall_clock_s:.3},\n  \"allocs_per_decision\": {allocs_per_decision:.4}\n}}\n",
+        "{{\n  \"schema\": \"gmp-bench/1\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k_values\": [5, 15, 25],\n    \"decision_samples\": {decisions},\n    \"task_samples\": {task_count}\n  }},\n  \"decisions_per_sec\": {decisions_per_sec:.1},\n  \"tasks_per_sec\": {tasks_per_sec:.1},\n  \"wall_clock_s\": {wall_clock_s:.3},\n  \"allocs_per_decision\": {allocs_per_decision:.4},\n  \"decision_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"fallbacks\": {cache_fallbacks},\n    \"evictions\": {cache_evictions},\n    \"hit_rate\": {cache_hit_rate:.4}\n  }}\n}}\n",
         config.node_count,
     );
     print!("{json}");
@@ -748,6 +776,7 @@ fn run_bench2(args: &Args) {
     let window_s = 2.0f64;
 
     let mut measured = [0.0f64; 2];
+    let mut cache_stats = [gmp_core::CacheStats::default(); 2];
     for (slot, (label, config)) in [
         ("collisions_off", base.clone()),
         (
@@ -785,14 +814,27 @@ fn run_bench2(args: &Args) {
             best = best.max(ran as f64 / t0.elapsed().as_secs_f64());
         }
         measured[slot] = best;
+        cache_stats[slot] = router.cache_stats();
     }
     let [off, on] = measured;
+    let cache_json = |s: gmp_core::CacheStats| {
+        format!(
+            "{{ \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }}",
+            s.hits,
+            s.misses,
+            s.fallbacks,
+            s.evictions,
+            s.hit_rate()
+        )
+    };
 
     let json = format!(
-        "{{\n  \"schema\": \"gmp-bench/2\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k\": 25,\n    \"tasks\": {task_count},\n    \"collision_config\": {{ \"tx_jitter_s\": 0.005, \"max_retransmissions\": 7 }},\n    \"window_s\": {window_s:.1}\n  }},\n  \"collisions_off_tasks_per_sec\": {off:.1},\n  \"collisions_on_tasks_per_sec\": {on:.1},\n  \"seed_baseline\": {{\n    \"collisions_off_tasks_per_sec\": {seed_baseline_off:.1},\n    \"collisions_on_tasks_per_sec\": {seed_baseline_on:.1}\n  }},\n  \"speedup_collisions_off\": {:.3},\n  \"speedup_collisions_on\": {:.3}\n}}\n",
+        "{{\n  \"schema\": \"gmp-bench/2\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k\": 25,\n    \"tasks\": {task_count},\n    \"collision_config\": {{ \"tx_jitter_s\": 0.005, \"max_retransmissions\": 7 }},\n    \"window_s\": {window_s:.1}\n  }},\n  \"collisions_off_tasks_per_sec\": {off:.1},\n  \"collisions_on_tasks_per_sec\": {on:.1},\n  \"seed_baseline\": {{\n    \"collisions_off_tasks_per_sec\": {seed_baseline_off:.1},\n    \"collisions_on_tasks_per_sec\": {seed_baseline_on:.1}\n  }},\n  \"speedup_collisions_off\": {:.3},\n  \"speedup_collisions_on\": {:.3},\n  \"decision_cache\": {{\n    \"collisions_off\": {},\n    \"collisions_on\": {}\n  }}\n}}\n",
         base.node_count,
         off / seed_baseline_off,
         on / seed_baseline_on,
+        cache_json(cache_stats[0]),
+        cache_json(cache_stats[1]),
     );
     print!("{json}");
     let path = args.out.join("BENCH_2.json");

@@ -1,0 +1,696 @@
+//! Cross-hop memoization of the forwarding decision.
+//!
+//! GMP is stateless per hop: every forwarder rebuilds a virtual Steiner
+//! tree over the packet's remaining destination set and regroups from
+//! scratch (Figure 7). Consecutive hops therefore repeat nearly identical
+//! work — same destination set, same neighborhood geometry — and the
+//! simulator replays whole tasks thousands of times. [`TreeCache`]
+//! exploits that: it memoizes the *outcome* of
+//! [`DecisionScratch::group_destinations_into`] keyed by a fingerprint of
+//! the decision inputs, and serves a stored [`Grouping`] instead of
+//! rebuilding the tree.
+//!
+//! # Why cached decisions are bit-exact
+//!
+//! The grouping is a pure function of exactly these inputs: the deciding
+//! node's position, the radio range, the destination ids and positions,
+//! the neighbor ids, positions and liveness bits, the radio-range-aware
+//! flag, and the perimeter entry point. A cache entry stores **all of
+//! them exactly** (positions compared by `f64` bit pattern), and a lookup
+//! only serves the stored grouping after verifying every one — so a hit
+//! is *proven* equal to what recomputation would produce, not assumed
+//! from a hash. Quantized positions appear in the fingerprint purely to
+//! find the candidate entry; correctness never rests on the hash.
+//!
+//! A verification failure (hash collision, a node's liveness flipped by a
+//! fault plan, even a different topology behind the same ids) falls back
+//! to a full rebuild and replaces the entry in place — this is how
+//! `gmp-faults` liveness changes invalidate affected entries without any
+//! out-of-band notification.
+//!
+//! The liveness bits are *normalized*: a `None` view and an all-`true`
+//! slice store identical bits. That is sound because the grouping's only
+//! read of the view — the candidate filter at the top of
+//! `find_next_hop`'s neighbor loop — precedes all floating-point work, so
+//! the two views are bit-identical by construction (the zero-fault parity
+//! contract).
+//!
+//! With `GMP_CACHE_PARANOID` set (any value but `0`), every verified hit
+//! *additionally* recomputes the decision and asserts the stored grouping
+//! matches — the belt-and-braces mode the parity tests run under.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+use gmp_geom::Point;
+use gmp_net::{NodeId, Topology};
+
+use crate::grouping::{copy_grouping_into, DecisionScratch, Grouping};
+
+/// Tuning knobs for [`TreeCache`]. These affect only speed, never
+/// outcomes: capacity bounds memory, the quantum only shapes the lookup
+/// fingerprint (the exact validity check is unconditional).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum number of stored decisions before an epoch flush
+    /// (`GMP_CACHE_CAPACITY`).
+    pub capacity: usize,
+    /// Position quantization step for the fingerprint, meters
+    /// (`GMP_CACHE_QUANTUM`). Coarser buckets more near-identical
+    /// geometries onto the same probe; the exact check rejects any
+    /// false merge, so this trades hash spread against lookup hits.
+    pub quantum: f64,
+    /// Recompute-and-compare every hit (`GMP_CACHE_PARANOID`).
+    pub paranoid: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 8192,
+            quantum: 1e-3,
+            paranoid: false,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// The defaults with any `GMP_CACHE_CAPACITY` / `GMP_CACHE_QUANTUM` /
+    /// `GMP_CACHE_PARANOID` environment overrides applied. Unparsable or
+    /// out-of-range values fall back to the defaults.
+    pub fn from_env() -> Self {
+        let mut config = CacheConfig::default();
+        if let Some(cap) = std::env::var("GMP_CACHE_CAPACITY")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+        {
+            config.capacity = cap;
+        }
+        if let Some(q) = std::env::var("GMP_CACHE_QUANTUM")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|q| q.is_finite() && *q > 0.0)
+        {
+            config.quantum = q;
+        }
+        if let Some(v) = std::env::var_os("GMP_CACHE_PARANOID") {
+            config.paranoid = v != "0";
+        }
+        config
+    }
+}
+
+/// Counters describing how the cache behaved, for the bench reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a stored, fully verified entry.
+    pub hits: u64,
+    /// Lookups with no stored entry under the fingerprint: computed
+    /// fresh, then stored.
+    pub misses: u64,
+    /// Lookups whose stored entry failed the exact validity check
+    /// (liveness flip, hash collision, changed geometry): computed fresh,
+    /// entry replaced.
+    pub fallbacks: u64,
+    /// Entries discarded by capacity epoch flushes.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses + self.fallbacks
+    }
+
+    /// Fraction of lookups served from the cache, or 0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One memoized decision: every exact input plus the resulting grouping.
+#[derive(Debug, Clone, Default)]
+struct CacheEntry {
+    node: NodeId,
+    node_pos: Point,
+    radio_range: f64,
+    rra: bool,
+    perimeter_entry: Option<Point>,
+    dests: Vec<NodeId>,
+    dest_pos: Vec<Point>,
+    neighbors: Vec<NodeId>,
+    neighbor_pos: Vec<Point>,
+    neighbor_alive: Vec<bool>,
+    grouping: Grouping,
+}
+
+/// Trivial pass-through hasher: the map key already *is* the mixed
+/// fingerprint, so rehashing it through SipHash would only burn cycles.
+#[derive(Debug, Clone, Copy, Default)]
+struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = mix(self.0, b as u64);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = mix(self.0, v);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct FingerprintBuild;
+
+impl BuildHasher for FingerprintBuild {
+    type Hasher = FingerprintHasher;
+    fn build_hasher(&self) -> FingerprintHasher {
+        FingerprintHasher::default()
+    }
+}
+
+/// One FxHash-style mixing step (rotate, xor, multiply by a large odd
+/// constant) — cheap, dependency-free, and plenty for keys this small.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95)
+}
+
+#[inline]
+fn point_bits_eq(a: Point, b: Point) -> bool {
+    a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits()
+}
+
+#[inline]
+fn entry_bits_eq(a: Option<Point>, b: Option<Point>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(p), Some(q)) => point_bits_eq(p, q),
+        _ => false,
+    }
+}
+
+/// The normalized liveness bit for one neighbor (see the module docs for
+/// why `None` and all-`true` may share it).
+#[inline]
+fn alive_bit(alive: Option<&[bool]>, n: NodeId) -> bool {
+    alive.is_none_or(|a| a[n.index()])
+}
+
+/// Memoizes forwarding decisions across hops (and across simulated
+/// tasks, which replay the same decisions thousands of times in the
+/// benchmarks).
+///
+/// The cache owns no scratch of its own: results are always materialized
+/// into the caller's [`DecisionScratch`], so downstream code (the emit
+/// step, which mutates the grouping in place) is oblivious to whether the
+/// decision was computed or served.
+#[derive(Debug, Clone)]
+pub struct TreeCache {
+    config: CacheConfig,
+    /// `1 / quantum`, precomputed for the fingerprint loop.
+    inv_quantum: f64,
+    /// Fingerprint → index into `entries`. On the (astronomically rare)
+    /// fingerprint collision between distinct keys, the exact check
+    /// rejects the resident entry and the loser recomputes + replaces —
+    /// correct either way.
+    map: HashMap<u64, u32, FingerprintBuild>,
+    entries: Vec<CacheEntry>,
+    /// Flushed entries recycled on insert, so steady-state epochs reuse
+    /// their vectors instead of reallocating.
+    free: Vec<CacheEntry>,
+    /// Group-vector pool for entry replacement (the scratch has its own).
+    pool: Vec<Vec<NodeId>>,
+    stats: CacheStats,
+}
+
+impl Default for TreeCache {
+    fn default() -> Self {
+        TreeCache::new()
+    }
+}
+
+impl TreeCache {
+    /// A cache with the environment-tuned configuration
+    /// ([`CacheConfig::from_env`]).
+    pub fn new() -> Self {
+        TreeCache::with_config(CacheConfig::from_env())
+    }
+
+    /// A cache with an explicit configuration.
+    pub fn with_config(config: CacheConfig) -> Self {
+        assert!(config.capacity > 0, "cache capacity must be positive");
+        assert!(
+            config.quantum.is_finite() && config.quantum > 0.0,
+            "cache quantum must be positive"
+        );
+        TreeCache {
+            config,
+            inv_quantum: 1.0 / config.quantum,
+            map: HashMap::default(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            pool: Vec::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Behaviour counters since construction (flushes don't reset them).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of currently stored decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no decisions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// [`DecisionScratch::group_destinations_into`] through the cache:
+    /// serves a stored grouping when every exact input matches, computes
+    /// (and stores) it otherwise. The result always lives in `scratch`,
+    /// bit-identical to what the direct call would leave there.
+    #[allow(clippy::too_many_arguments)]
+    pub fn group_destinations_cached<'a>(
+        &mut self,
+        scratch: &'a mut DecisionScratch,
+        topo: &Topology,
+        node: NodeId,
+        dests: &[NodeId],
+        radio_range_aware: bool,
+        perimeter_entry: Option<Point>,
+        alive: Option<&[bool]>,
+    ) -> &'a Grouping {
+        let fp = self.fingerprint(topo, node, dests, radio_range_aware, perimeter_entry, alive);
+        if let Some(&slot) = self.map.get(&fp) {
+            let entry = &self.entries[slot as usize];
+            if entry_matches(
+                entry,
+                topo,
+                node,
+                dests,
+                radio_range_aware,
+                perimeter_entry,
+                alive,
+            ) {
+                self.stats.hits += 1;
+                if self.config.paranoid {
+                    // Recompute-and-compare mode: the recomputed grouping
+                    // is returned (it is asserted identical, so the
+                    // choice is immaterial).
+                    scratch.group_destinations_into(
+                        topo,
+                        node,
+                        dests,
+                        radio_range_aware,
+                        perimeter_entry,
+                        alive,
+                    );
+                    assert_eq!(
+                        scratch.grouping_ref(),
+                        &entry.grouping,
+                        "paranoid cache check failed at node {node} for {dests:?}"
+                    );
+                } else {
+                    scratch.load_grouping(&entry.grouping);
+                }
+                return scratch.grouping_ref();
+            }
+            // Exact check failed: the inputs changed under this
+            // fingerprint (liveness flip, collision…). Recompute and
+            // replace the resident entry in place.
+            self.stats.fallbacks += 1;
+            scratch.group_destinations_into(
+                topo,
+                node,
+                dests,
+                radio_range_aware,
+                perimeter_entry,
+                alive,
+            );
+            let entry = &mut self.entries[slot as usize];
+            fill_entry(
+                entry,
+                &mut self.pool,
+                scratch.grouping_ref(),
+                topo,
+                node,
+                dests,
+                radio_range_aware,
+                perimeter_entry,
+                alive,
+            );
+            return scratch.grouping_ref();
+        }
+
+        self.stats.misses += 1;
+        scratch.group_destinations_into(
+            topo,
+            node,
+            dests,
+            radio_range_aware,
+            perimeter_entry,
+            alive,
+        );
+        if self.entries.len() >= self.config.capacity {
+            // Epoch flush: deterministic, wholesale, and cheap — the
+            // entries (and their vectors) move to the free list for
+            // reuse. An LRU chain would save refills but put its
+            // bookkeeping on every lookup; the benches' working sets fit
+            // the default capacity comfortably (see DESIGN.md).
+            self.stats.evictions += self.entries.len() as u64;
+            self.map.clear();
+            self.free.append(&mut self.entries);
+        }
+        let mut entry = self.free.pop().unwrap_or_default();
+        fill_entry(
+            &mut entry,
+            &mut self.pool,
+            scratch.grouping_ref(),
+            topo,
+            node,
+            dests,
+            radio_range_aware,
+            perimeter_entry,
+            alive,
+        );
+        let slot = self.entries.len() as u32;
+        self.entries.push(entry);
+        self.map.insert(fp, slot);
+        scratch.grouping_ref()
+    }
+
+    /// The lookup fingerprint: node id, flags, and *quantized* positions
+    /// mixed into 64 bits. Only a probe — every served decision is
+    /// re-verified against exact inputs.
+    fn fingerprint(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        dests: &[NodeId],
+        radio_range_aware: bool,
+        perimeter_entry: Option<Point>,
+        alive: Option<&[bool]>,
+    ) -> u64 {
+        let q = self.inv_quantum;
+        let quant = |c: f64| (c * q).round() as i64 as u64;
+        let mut h = mix(0x9e37_79b9_7f4a_7c15, node.0 as u64);
+        h = mix(h, radio_range_aware as u64);
+        let here = topo.pos(node);
+        h = mix(h, quant(here.x));
+        h = mix(h, quant(here.y));
+        match perimeter_entry {
+            Some(e) => {
+                h = mix(h, 1);
+                h = mix(h, quant(e.x));
+                h = mix(h, quant(e.y));
+            }
+            None => h = mix(h, 2),
+        }
+        for &d in dests {
+            let p = topo.pos(d);
+            h = mix(h, d.0 as u64);
+            h = mix(h, quant(p.x));
+            h = mix(h, quant(p.y));
+        }
+        // Normalized per-neighbor liveness, folded in as a running bit
+        // string so dead-neighbor variants get their own probe.
+        let mut bits = 1u64;
+        for &n in topo.neighbors(node) {
+            bits = (bits << 1) | alive_bit(alive, n) as u64;
+            if bits >> 63 == 1 {
+                h = mix(h, bits);
+                bits = 1;
+            }
+        }
+        mix(h, bits)
+    }
+}
+
+/// The exact-input validity check: `true` iff recomputing from these
+/// arguments is guaranteed to reproduce `entry.grouping` (every value the
+/// decision reads is compared, positions by bit pattern).
+fn entry_matches(
+    entry: &CacheEntry,
+    topo: &Topology,
+    node: NodeId,
+    dests: &[NodeId],
+    radio_range_aware: bool,
+    perimeter_entry: Option<Point>,
+    alive: Option<&[bool]>,
+) -> bool {
+    entry.node == node
+        && entry.rra == radio_range_aware
+        && entry.radio_range.to_bits() == topo.radio_range().to_bits()
+        && point_bits_eq(entry.node_pos, topo.pos(node))
+        && entry_bits_eq(entry.perimeter_entry, perimeter_entry)
+        && entry.dests == dests
+        && entry
+            .dest_pos
+            .iter()
+            .zip(dests)
+            .all(|(&p, &d)| point_bits_eq(p, topo.pos(d)))
+        && entry.neighbors == topo.neighbors(node)
+        && entry
+            .neighbor_pos
+            .iter()
+            .zip(&entry.neighbors)
+            .all(|(&p, &n)| point_bits_eq(p, topo.pos(n)))
+        && entry
+            .neighbor_alive
+            .iter()
+            .zip(&entry.neighbors)
+            .all(|(&bit, &n)| bit == alive_bit(alive, n))
+}
+
+/// (Re)populates `entry` from the decision's exact inputs and freshly
+/// computed `grouping`, reusing its existing vectors.
+#[allow(clippy::too_many_arguments)]
+fn fill_entry(
+    entry: &mut CacheEntry,
+    pool: &mut Vec<Vec<NodeId>>,
+    grouping: &Grouping,
+    topo: &Topology,
+    node: NodeId,
+    dests: &[NodeId],
+    radio_range_aware: bool,
+    perimeter_entry: Option<Point>,
+    alive: Option<&[bool]>,
+) {
+    entry.node = node;
+    entry.node_pos = topo.pos(node);
+    entry.radio_range = topo.radio_range();
+    entry.rra = radio_range_aware;
+    entry.perimeter_entry = perimeter_entry;
+    entry.dests.clear();
+    entry.dests.extend_from_slice(dests);
+    entry.dest_pos.clear();
+    entry.dest_pos.extend(dests.iter().map(|&d| topo.pos(d)));
+    entry.neighbors.clear();
+    entry.neighbors.extend_from_slice(topo.neighbors(node));
+    entry.neighbor_pos.clear();
+    entry
+        .neighbor_pos
+        .extend(entry.neighbors.iter().map(|&n| topo.pos(n)));
+    entry.neighbor_alive.clear();
+    entry
+        .neighbor_alive
+        .extend(entry.neighbors.iter().map(|&n| alive_bit(alive, n)));
+    copy_grouping_into(grouping, &mut entry.grouping, pool);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::group_destinations;
+    use gmp_net::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::random(&TopologyConfig::new(600.0, 300, 120.0), 8)
+    }
+
+    fn dests_for(seed: u64, topo: &Topology, node: NodeId) -> Vec<NodeId> {
+        let mut d: Vec<NodeId> = (0..6)
+            .map(|i| NodeId(((seed * 131 + i * 97) % topo.len() as u64) as u32))
+            .filter(|&d| d != node)
+            .collect();
+        d.sort();
+        d.dedup();
+        d
+    }
+
+    #[test]
+    fn hit_reproduces_the_computed_grouping_exactly() {
+        let topo = topo();
+        let mut cache = TreeCache::with_config(CacheConfig::default());
+        let mut scratch = DecisionScratch::new();
+        for seed in 0..12u64 {
+            let node = NodeId((seed * 71 % 300) as u32);
+            let dests = dests_for(seed, &topo, node);
+            let expect = group_destinations(&topo, node, &dests, true, None);
+            for _ in 0..3 {
+                let got = cache
+                    .group_destinations_cached(&mut scratch, &topo, node, &dests, true, None, None)
+                    .clone();
+                assert_eq!(got, expect, "seed {seed}");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 12);
+        assert_eq!(stats.hits, 24);
+        assert_eq!(stats.fallbacks, 0);
+        assert!(stats.hit_rate() > 0.6);
+    }
+
+    #[test]
+    fn paranoid_mode_hits_and_agrees() {
+        let topo = topo();
+        let mut cache = TreeCache::with_config(CacheConfig {
+            paranoid: true,
+            ..CacheConfig::default()
+        });
+        let mut scratch = DecisionScratch::new();
+        let node = NodeId(17);
+        let dests = dests_for(3, &topo, node);
+        let a = cache
+            .group_destinations_cached(&mut scratch, &topo, node, &dests, true, None, None)
+            .clone();
+        let b = cache
+            .group_destinations_cached(&mut scratch, &topo, node, &dests, true, None, None)
+            .clone();
+        assert_eq!(a, b);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn liveness_flip_falls_back_and_replaces() {
+        let topo = topo();
+        let mut cache = TreeCache::with_config(CacheConfig::default());
+        let mut scratch = DecisionScratch::new();
+        let node = NodeId(42);
+        let dests = dests_for(7, &topo, node);
+        let all_alive = vec![true; topo.len()];
+        let mut some_dead = all_alive.clone();
+        for &n in topo.neighbors(node) {
+            some_dead[n.index()] = false;
+        }
+
+        // Warm with the all-alive view; `None` must then hit (normalized
+        // liveness), and the dead view must recompute, not serve.
+        let warm = cache
+            .group_destinations_cached(
+                &mut scratch,
+                &topo,
+                node,
+                &dests,
+                true,
+                None,
+                Some(&all_alive),
+            )
+            .clone();
+        let none_view = cache
+            .group_destinations_cached(&mut scratch, &topo, node, &dests, true, None, None)
+            .clone();
+        assert_eq!(warm, none_view);
+        assert_eq!(cache.stats().hits, 1);
+
+        let dead_view = cache
+            .group_destinations_cached(
+                &mut scratch,
+                &topo,
+                node,
+                &dests,
+                true,
+                None,
+                Some(&some_dead),
+            )
+            .clone();
+        assert_eq!(
+            dead_view,
+            {
+                let mut s = DecisionScratch::new();
+                s.group_destinations_into(&topo, node, &dests, true, None, Some(&some_dead));
+                s.grouping_ref().clone()
+            },
+            "dead-neighbor decision must be recomputed, never served stale"
+        );
+        assert!(dead_view.covered.is_empty(), "all neighbors are dead");
+        // Either probe shape is fine (miss under a new fingerprint or
+        // fallback under the old); a stale hit is not.
+        assert_eq!(cache.stats().hits, 1);
+
+        // And the original view still resolves correctly afterwards.
+        let again = cache
+            .group_destinations_cached(&mut scratch, &topo, node, &dests, true, None, None)
+            .clone();
+        assert_eq!(again, warm);
+    }
+
+    #[test]
+    fn capacity_flush_keeps_serving_correctly() {
+        let topo = topo();
+        let mut cache = TreeCache::with_config(CacheConfig {
+            capacity: 4,
+            ..CacheConfig::default()
+        });
+        let mut scratch = DecisionScratch::new();
+        for round in 0..3 {
+            for seed in 0..10u64 {
+                let node = NodeId((seed * 71 % 300) as u32);
+                let dests = dests_for(seed, &topo, node);
+                let got = cache
+                    .group_destinations_cached(&mut scratch, &topo, node, &dests, true, None, None)
+                    .clone();
+                let expect = group_destinations(&topo, node, &dests, true, None);
+                assert_eq!(got, expect, "round {round} seed {seed}");
+            }
+        }
+        assert!(cache.len() <= 4);
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn perimeter_entry_distinguishes_decisions() {
+        let topo = topo();
+        let mut cache = TreeCache::with_config(CacheConfig::default());
+        let mut scratch = DecisionScratch::new();
+        let node = NodeId(5);
+        let dests = dests_for(1, &topo, node);
+        let entry = Some(Point::new(10.0, 20.0));
+        let plain = cache
+            .group_destinations_cached(&mut scratch, &topo, node, &dests, true, None, None)
+            .clone();
+        let perim = cache
+            .group_destinations_cached(&mut scratch, &topo, node, &dests, true, entry, None)
+            .clone();
+        assert_eq!(plain, group_destinations(&topo, node, &dests, true, None));
+        assert_eq!(perim, group_destinations(&topo, node, &dests, true, entry));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn env_defaults_are_sane() {
+        let config = CacheConfig::from_env();
+        assert!(config.capacity > 0);
+        assert!(config.quantum > 0.0);
+    }
+}

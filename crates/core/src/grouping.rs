@@ -184,6 +184,37 @@ impl DecisionScratch {
     pub(crate) fn grouping_mut(&mut self) -> &mut Grouping {
         &mut self.grouping
     }
+
+    /// Read access to the last decision, for the cache's store path.
+    pub(crate) fn grouping_ref(&self) -> &Grouping {
+        &self.grouping
+    }
+
+    /// Replaces the last decision with a copy of `src`, recycling the
+    /// current groups' vectors through the pool — the cache-hit path,
+    /// allocation-free once the pool is warm.
+    pub(crate) fn load_grouping(&mut self, src: &Grouping) {
+        copy_grouping_into(src, &mut self.grouping, &mut self.group_pool);
+    }
+}
+
+/// Copies `src` over `dst`, recycling `dst`'s group vectors through
+/// `pool` so a warmed destination never reallocates.
+pub(crate) fn copy_grouping_into(src: &Grouping, dst: &mut Grouping, pool: &mut Vec<Vec<NodeId>>) {
+    for mut g in dst.covered.drain(..) {
+        g.dests.clear();
+        pool.push(g.dests);
+    }
+    dst.voids.clear();
+    dst.voids.extend_from_slice(&src.voids);
+    for g in &src.covered {
+        let mut dests = pool.pop().unwrap_or_default();
+        dests.extend_from_slice(&g.dests);
+        dst.covered.push(CoveredGroup {
+            dests,
+            next_hop: g.next_hop,
+        });
+    }
 }
 
 /// Splits `dests` into groups at node `node` and selects a next hop per

@@ -37,10 +37,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 pub mod geocast;
 pub mod grouping;
 pub mod router;
 
+pub use cache::{CacheConfig, CacheStats, TreeCache};
 pub use geocast::GmpGeocast;
 pub use grouping::{group_destinations, CoveredGroup, DecisionScratch, Grouping};
 pub use router::{GmpConfig, GmpRouter};

@@ -5,6 +5,7 @@ use gmp_net::face::perimeter_next_hop;
 use gmp_net::PerimeterState;
 use gmp_sim::{Forward, MulticastPacket, NodeContext, Protocol, RoutingState};
 
+use crate::cache::{CacheStats, TreeCache};
 use crate::grouping::{DecisionScratch, Grouping};
 
 /// Configuration of the GMP router.
@@ -34,13 +35,16 @@ impl Default for GmpConfig {
 ///
 /// Stateless across packets — every forwarding decision is recomputed
 /// from the packet's destination list and the node's local neighborhood.
-/// The router does carry a [`DecisionScratch`], but that is pure working
-/// memory: it never influences a decision, it only lets the steady-state
-/// hot path run without allocating.
+/// The router does carry a [`DecisionScratch`] and a [`TreeCache`], but
+/// those are pure working memory: they never influence a decision (the
+/// cache only serves groupings proven bit-identical to recomputation —
+/// see [`crate::cache`]), they only let the steady-state hot path skip
+/// redundant tree rebuilds and run without allocating.
 #[derive(Debug, Clone, Default)]
 pub struct GmpRouter {
     config: GmpConfig,
     scratch: DecisionScratch,
+    cache: TreeCache,
 }
 
 impl GmpRouter {
@@ -62,12 +66,19 @@ impl GmpRouter {
         GmpRouter {
             config,
             scratch: DecisionScratch::new(),
+            cache: TreeCache::new(),
         }
     }
 
     /// The router's configuration.
     pub fn config(&self) -> GmpConfig {
         self.config
+    }
+
+    /// Decision-cache behaviour counters (hits, misses, fallbacks,
+    /// evictions) accumulated over this router's lifetime.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 }
 
@@ -172,7 +183,8 @@ impl Protocol for GmpRouter {
         // perimeter packet the exit must also beat the entry point's total
         // distance (GPSR's progress rule), or the packet would bounce
         // straight back into the void.
-        self.scratch.group_destinations_into(
+        self.cache.group_destinations_cached(
+            &mut self.scratch,
             ctx.topo,
             ctx.node,
             &packet.dests,

@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use gmp_core::DecisionScratch;
+use gmp_core::{CacheConfig, DecisionScratch, TreeCache};
 use gmp_net::Topology;
 use gmp_sim::{MulticastTask, SimConfig};
 
@@ -74,6 +74,63 @@ fn steady_state_decisions_do_not_allocate() {
         after - before,
         0,
         "steady-state forwarding decisions performed {} heap allocations",
+        after - before
+    );
+
+    // Same contract with the decision cache in front: the first pass
+    // populates it (inserts may allocate), the second settles the
+    // hit-path's pooled copies, and the measured pass — now lookups that
+    // verify and serve stored groupings — must not touch the allocator
+    // either.
+    let mut cache = TreeCache::with_config(CacheConfig::default());
+    for _ in 0..2 {
+        for t in &tasks {
+            for &rra in &[true, false] {
+                cache.group_destinations_cached(
+                    &mut scratch,
+                    &topo,
+                    t.source,
+                    &t.dests,
+                    rra,
+                    None,
+                    None,
+                );
+            }
+        }
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut hits_output = 0usize;
+    for t in &tasks {
+        for &rra in &[true, false] {
+            let g = cache.group_destinations_cached(
+                &mut scratch,
+                &topo,
+                t.source,
+                &t.dests,
+                rra,
+                None,
+                None,
+            );
+            hits_output += usize::from(!g.covered.is_empty() || !g.voids.is_empty());
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(hits_output > 0, "cached workload produced no decisions");
+    let stats = cache.stats();
+    assert_eq!(
+        stats.fallbacks, 0,
+        "static workload must never fail verification"
+    );
+    assert!(
+        stats.hits >= stats.misses,
+        "measured pass must be served from the cache: {stats:?}"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state cached decisions performed {} heap allocations",
         after - before
     );
 }

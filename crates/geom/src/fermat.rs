@@ -156,6 +156,30 @@ pub fn fermat_point(a: Point, b: Point, c: Point) -> FermatPoint {
     }
 }
 
+/// Fermat points of a batch of triangles given in SoA form
+/// (`a[i], b[i], c[i]`), written into `out[i]`.
+///
+/// Unlike the distance and ratio-bound kernels, the Fermat construction
+/// is dominated by data-dependent branches (coincidence, collinearity,
+/// and the three ≥ 120° vertex collapses), so the lanes cannot share
+/// vector instructions; each lane simply runs the scalar
+/// [`fermat_point`], which makes batch output bit-identical to the
+/// scalar calls by construction. The batch form still pays off in bulk
+/// evaluation (benchmarks, precomputation): the triangle data streams
+/// through in SoA order instead of bouncing through call-site shuffles.
+///
+/// # Panics
+///
+/// Panics if the four slices differ in length.
+pub fn fermat_point_batch(a: &[Point], b: &[Point], c: &[Point], out: &mut [FermatPoint]) {
+    assert_eq!(a.len(), b.len(), "SoA lanes must agree in length");
+    assert_eq!(a.len(), c.len(), "SoA lanes must agree in length");
+    assert_eq!(a.len(), out.len(), "output must match the lane count");
+    for i in 0..out.len() {
+        out[i] = fermat_point(a[i], b[i], c[i]);
+    }
+}
+
 /// The apex of the equilateral triangle erected on segment `p`–`q`, on the
 /// side *away* from `opposite`.
 fn outward_equilateral_apex(p: Point, q: Point, opposite: Point) -> Point {
@@ -353,6 +377,54 @@ mod tests {
     }
 
     #[test]
+    fn batch_covers_every_degenerate_case() {
+        // One lane per special case `fermat_point` distinguishes:
+        // coincident pair, all coincident, collinear, ≥ 120° at each
+        // vertex, and a generic interior triangle.
+        let a = vec![
+            Point::new(0.0, 0.0),  // coincident b == c
+            Point::new(1.0, 1.0),  // all coincident
+            Point::new(0.0, 0.0),  // collinear
+            Point::new(0.0, 0.0),  // wide angle at a
+            Point::new(10.0, 0.5), // wide angle at b (= a-case swapped)
+            Point::new(0.0, 0.0),  // generic interior
+        ];
+        let b = vec![
+            Point::new(3.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(10.0, 0.5),
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 1.0),
+        ];
+        let c = vec![
+            Point::new(3.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(-10.0, 0.5),
+            Point::new(-10.0, 0.5),
+            Point::new(2.0, 4.0),
+        ];
+        let mut out = vec![
+            FermatPoint {
+                location: Point::ORIGIN,
+                kind: FermatKind::Interior,
+            };
+            a.len()
+        ];
+        fermat_point_batch(&a, &b, &c, &mut out);
+        for i in 0..a.len() {
+            assert_eq!(out[i], fermat_point(a[i], b[i], c[i]), "lane {i}");
+        }
+        assert_eq!(out[0].kind, FermatKind::AtVertex(1));
+        assert_eq!(out[1].kind, FermatKind::AtVertex(0));
+        assert_eq!(out[2].kind, FermatKind::AtVertex(1));
+        assert_eq!(out[3].kind, FermatKind::AtVertex(0));
+        assert_eq!(out[4].kind, FermatKind::AtVertex(1));
+        assert_eq!(out[5].kind, FermatKind::Interior);
+    }
+
+    #[test]
     fn invariant_under_rotation_and_translation() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(4.0, 1.0);
@@ -369,5 +441,68 @@ mod tests {
         let rf = fermat_point(ra, rb, rc).location;
         let expected = f.rotate_around(center, ang) + shift;
         assert!(rf.dist(expected) < 1e-6, "rf={rf} expected={expected}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn point() -> impl Strategy<Value = Point> {
+        (-1000.0..1000.0f64, -1000.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    /// Triangles biased toward the degenerate branches `fermat_point`
+    /// special-cases: coincident pairs, collinear triples, and wide
+    /// (≥ 120°) vertex angles, alongside generic triangles. A selector
+    /// lane picks the shape (the vendored proptest stand-in has no
+    /// `prop_oneof`).
+    fn triangle() -> impl Strategy<Value = (Point, Point, Point)> {
+        (point(), point(), point(), -0.5..1.5f64, 0usize..7).prop_map(|(a, b, c, t, shape)| {
+            match shape {
+                // Generic triangle.
+                0 => (a, b, c),
+                // A coincident pair in each slot.
+                1 => (a, b, b),
+                2 => (a, a, b),
+                3 => (a, b, a),
+                // All three coincident.
+                4 => (a, a, a),
+                // Collinear: c on the line through a and b.
+                5 => (a, b, a.lerp(b, t)),
+                // Wide angle at the first vertex: b and c nearly
+                // opposite across a.
+                _ => (a, b, a - (b - a) * (1.0 + t * 0.1)),
+            }
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn fermat_batch_is_bit_identical_to_scalar(
+            tris in proptest::collection::vec(triangle(), 0..24),
+        ) {
+            let a: Vec<Point> = tris.iter().map(|t| t.0).collect();
+            let b: Vec<Point> = tris.iter().map(|t| t.1).collect();
+            let c: Vec<Point> = tris.iter().map(|t| t.2).collect();
+            let mut out = vec![
+                FermatPoint { location: Point::ORIGIN, kind: FermatKind::Interior };
+                tris.len()
+            ];
+            fermat_point_batch(&a, &b, &c, &mut out);
+            for (i, &(ta, tb, tc)) in tris.iter().enumerate() {
+                let scalar = fermat_point(ta, tb, tc);
+                prop_assert_eq!(out[i].kind, scalar.kind, "lane {} kind", i);
+                prop_assert_eq!(
+                    out[i].location.x.to_bits(), scalar.location.x.to_bits(),
+                    "lane {} x: batch {} vs scalar {}", i, out[i].location, scalar.location
+                );
+                prop_assert_eq!(
+                    out[i].location.y.to_bits(), scalar.location.y.to_bits(),
+                    "lane {} y: batch {} vs scalar {}", i, out[i].location, scalar.location
+                );
+            }
+        }
     }
 }

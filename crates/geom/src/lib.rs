@@ -36,8 +36,8 @@ pub mod region;
 pub mod segment;
 
 pub use aabb::Aabb;
-pub use fermat::{fermat_point, FermatKind, FermatPoint};
-pub use point::{Point, Vec2};
+pub use fermat::{fermat_point, fermat_point_batch, FermatKind, FermatPoint};
+pub use point::{dist_batch, Point, Vec2};
 pub use predicates::Orientation;
 pub use region::{convex_hull, Region};
 pub use segment::Segment;

@@ -185,6 +185,30 @@ impl Vec2 {
     }
 }
 
+/// Distances from `origin` to a batch of points given in SoA form
+/// (`xs[i], ys[i]`), written into `out[i]`.
+///
+/// Each lane computes exactly `origin.dist(Point::new(xs[i], ys[i]))`:
+/// the subtraction order matches [`Point::sub`] (`origin − p`), the two
+/// squares are sign-insensitive, and Rust never contracts `a*a + b*b`
+/// into an FMA, so every output is bit-identical to the scalar call.
+/// The loop body is branch-free over independent lanes, which is what
+/// lets LLVM autovectorize it (including the `sqrt`) — the reason this
+/// exists next to the scalar [`Point::dist`].
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+pub fn dist_batch(origin: Point, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+    assert_eq!(xs.len(), ys.len(), "SoA lanes must agree in length");
+    assert_eq!(xs.len(), out.len(), "output must match the lane count");
+    for i in 0..out.len() {
+        let dx = origin.x - xs[i];
+        let dy = origin.y - ys[i];
+        out[i] = (dx * dx + dy * dy).sqrt();
+    }
+}
+
 /// The counterclockwise angular sweep from direction `from` to direction
 /// `to`, in `[0, 2π)`.
 ///
@@ -437,5 +461,55 @@ mod tests {
     fn display_is_nonempty() {
         assert!(!format!("{}", Point::new(1.0, 2.0)).is_empty());
         assert!(!format!("{}", Vec2::new(1.0, 2.0)).is_empty());
+    }
+
+    #[test]
+    fn dist_batch_empty_is_a_no_op() {
+        dist_batch(Point::ORIGIN, &[], &[], &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane")]
+    fn dist_batch_rejects_mismatched_lanes() {
+        dist_batch(Point::ORIGIN, &[1.0], &[], &mut [0.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn dist_batch_is_bit_identical_to_scalar(
+            ox in -1000.0..1000.0f64,
+            oy in -1000.0..1000.0f64,
+            lanes in proptest::collection::vec(
+                (-1000.0..1000.0f64, -1000.0..1000.0f64), 0..40,
+            ),
+            dup in proptest::bool::ANY,
+        ) {
+            // Includes the coincident lane (distance exactly 0) when `dup`
+            // copies the origin into the batch.
+            let origin = Point::new(ox, oy);
+            let mut xs: Vec<f64> = lanes.iter().map(|&(x, _)| x).collect();
+            let mut ys: Vec<f64> = lanes.iter().map(|&(_, y)| y).collect();
+            if dup {
+                xs.push(ox);
+                ys.push(oy);
+            }
+            let mut out = vec![0.0; xs.len()];
+            dist_batch(origin, &xs, &ys, &mut out);
+            for i in 0..xs.len() {
+                let scalar = origin.dist(Point::new(xs[i], ys[i]));
+                prop_assert_eq!(
+                    out[i].to_bits(),
+                    scalar.to_bits(),
+                    "lane {} diverged: batch {} vs scalar {}",
+                    i, out[i], scalar
+                );
+            }
+        }
     }
 }

@@ -113,6 +113,13 @@ impl EventQueue {
         self.now = s.time;
         Some((s.time, s.event))
     }
+
+    /// Timestamp of the earliest pending event, without popping it.
+    /// Lets the runner detect equal-time batches for the staged
+    /// decision pass.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
 }
 
 #[cfg(test)]

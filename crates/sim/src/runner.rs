@@ -16,9 +16,21 @@
 //! * **Reused buffers.** [`SimScratch`] owns the event queue, the collision
 //!   heap, the liveness/pending tables, and the forward buffer; a warmed
 //!   scratch runs whole tasks without allocating in the loop itself.
+//! * **Staged decision pass.** When the configuration draws no RNG between
+//!   a pop and its forwards (collisions off, zero jitter — the paper's
+//!   default), each batch of equal-time deliveries is split into a
+//!   fault-filter pass (liveness checks, loss draws — everything that
+//!   touches the RNG or the fault state, in pop order) and a decision pass
+//!   that replays the batch in the same pop order doing the delivery
+//!   bookkeeping, routing decisions, and dispatch back-to-back. The
+//!   decision pass runs the protocol's Steiner-tree machinery (and the
+//!   GMP decision cache) cache-warm instead of interleaved with fault
+//!   bookkeeping. Because the replay preserves pop order and the
+//!   precomputed verdicts depend only on state the decision pass never
+//!   mutates, every write lands in the seed's exact sequence.
 //!
-//! Neither changes any simulated outcome: reports are bit-identical to the
-//! seed's (see `crates/bench/tests/sim_parity.rs` and DESIGN.md).
+//! None of this changes any simulated outcome: reports are bit-identical
+//! to the seed's (see `crates/bench/tests/sim_parity.rs` and DESIGN.md).
 
 use gmp_faults::{FailureCause, FaultScratch};
 use gmp_geom::Point;
@@ -141,6 +153,9 @@ pub struct SimScratch {
     drop_cause: Vec<FailureCause>,
     /// Compiled fault-plan state (timed events) and oracle buffers.
     faults: FaultScratch,
+    /// The staged decision pass's batch buffer: each equal-time delivery
+    /// with its precomputed fault verdict (`Some(cause)` = dropped).
+    staged: Vec<(NodeId, MulticastPacket, Option<FailureCause>)>,
 }
 
 impl SimScratch {
@@ -212,11 +227,13 @@ impl<'a> TaskRunner<'a> {
             forwards,
             drop_cause,
             faults,
+            staged,
         } = scratch;
         queue.reset();
         on_air.clear();
         deliveries.clear();
         forwards.clear();
+        staged.clear();
 
         // Failure injection: sample the Bernoulli dead nodes (never the
         // source, so the task can at least start), then apply the fault
@@ -278,124 +295,241 @@ impl<'a> TaskRunner<'a> {
             drop_cause,
         );
 
-        while let Some((time, event)) = queue.pop() {
-            events_processed += 1;
-            if events_processed > self.config.max_events {
-                report.truncated = true;
-                break;
-            }
-            let Event::Deliver {
-                to,
-                from,
-                sent_at,
-                retries,
-                mut packet,
-            } = event;
-            if has_events {
-                faults.advance_to(time, task.source, alive);
-            }
-            if !alive[to.index()] {
-                report.dropped_packets += 1;
-                record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
-                continue;
-            }
-            // Duty-cycle sleep: a sleeping receiver misses the copy just
-            // like a dead one, but wakes up again (and the oracle never
-            // excuses the miss).
-            if has_duty && to != task.source && faults.node_asleep(to, time) {
-                report.dropped_packets += 1;
-                record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
-                continue;
-            }
-            // Link churn: the link was severed while the copy was on it.
-            if has_churn && faults.link_severed(from, to, time) {
-                report.dropped_packets += 1;
-                record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkDown);
-                continue;
-            }
-            // Link-loss injection: the transmission was made (and paid
-            // for) but the copy never arrives.
-            if plan.transmission_lost(&mut rng) {
-                report.dropped_packets += 1;
-                record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkLoss);
-                continue;
-            }
-            // Collision model: the copy is destroyed if any other audible
-            // node (or the half-duplex receiver itself) transmitted during
-            // its airtime. The link layer retries with backoff, up to the
-            // configured budget (802.11-style), paying for each attempt.
-            if self.config.collisions {
-                on_air.prune(time);
-                if self.collides(on_air, sent_at, time, from, to) {
-                    if retries < self.config.max_retransmissions {
-                        let airtime = time - sent_at;
-                        let backoff = if self.config.tx_jitter_s > 0.0 {
-                            rng.gen_range(0.0..=self.config.tx_jitter_s * (retries as f64 + 1.0))
-                        } else {
-                            airtime
-                        };
-                        let link_m = self.topo.pos(from).dist(self.topo.pos(to));
-                        let listeners = self.topo.neighbors(from).len();
-                        report.transmissions += 1;
-                        report.bytes_transmitted += self.config.message_bytes;
-                        report.links.push((from, to));
-                        report.energy_j += energy.transmission_energy(
-                            self.config.message_bytes,
-                            listeners,
-                            link_m,
-                        );
-                        let resend_at = time + backoff;
-                        report.link_times_s.push(resend_at);
-                        on_air.push(resend_at, resend_at + airtime, from);
-                        queue.schedule(
-                            resend_at + airtime,
-                            Event::Deliver {
-                                to,
-                                from,
-                                sent_at: resend_at,
-                                retries: retries + 1,
-                                packet,
-                            },
-                        );
-                    } else {
-                        report.dropped_packets += 1;
-                        record_drop(&packet.dests, pending, drop_cause, FailureCause::Collision);
+        // The staged pass applies when nothing between a pop and its
+        // forwards draws RNG: collisions off (no backoff draws, no on-air
+        // bookkeeping) and zero jitter (no send-time draws). The paper's
+        // default configuration qualifies; collision/jitter runs take the
+        // interleaved loop below, which handles retransmission.
+        let use_staged = !self.config.collisions && self.config.tx_jitter_s == 0.0;
+        if use_staged {
+            // Phase A pops the whole equal-time batch, doing exactly the
+            // work whose order is pinned to pop order — the event budget,
+            // fault-state advancement, and the liveness/loss verdicts
+            // (including their RNG draws). Phase B replays the batch in
+            // that same pop order, doing everything else: delivery
+            // bookkeeping, the routing decision, dispatch. The verdicts
+            // read only state phase B never touches (`alive`, the fault
+            // tables, the RNG), so splitting the loop reorders no write —
+            // it only groups the protocol's Steiner-tree work into one
+            // cache-warm run per batch.
+            //
+            // Batching is sound because every phase-B forward arrives
+            // strictly later than the batch time (airtime > 0, jitter 0):
+            // the batch is precisely the set of events the interleaved
+            // loop would pop before any event it schedules.
+            while let Some((time, first)) = queue.pop() {
+                let mut event = first;
+                loop {
+                    events_processed += 1;
+                    if events_processed > self.config.max_events {
+                        // The tripping event is discarded unprocessed —
+                        // the interleaved loop breaks at the same point,
+                        // with the rest of the batch already dispatched.
+                        report.truncated = true;
+                        break;
                     }
+                    let Event::Deliver {
+                        to, from, packet, ..
+                    } = event;
+                    if has_events {
+                        faults.advance_to(time, task.source, alive);
+                    }
+                    // A dead receiver and a sleeping receiver drop with
+                    // the same cause by design; keep the branches in the
+                    // interleaved loop's exact order.
+                    #[allow(clippy::if_same_then_else)]
+                    let verdict = if !alive[to.index()] {
+                        Some(FailureCause::DeadNode)
+                    } else if has_duty && to != task.source && faults.node_asleep(to, time) {
+                        Some(FailureCause::DeadNode)
+                    } else if has_churn && faults.link_severed(from, to, time) {
+                        Some(FailureCause::LinkDown)
+                    } else if plan.transmission_lost(&mut rng) {
+                        Some(FailureCause::LinkLoss)
+                    } else {
+                        None
+                    };
+                    staged.push((to, packet, verdict));
+                    // Bitwise time equality: ±0.0 (ordered by `total_cmp`
+                    // in the heap) must not be merged into one batch.
+                    match queue.peek_time() {
+                        Some(t) if t.to_bits() == time.to_bits() => {
+                            event = queue.pop().expect("peeked").1;
+                        }
+                        _ => break,
+                    }
+                }
+                for (to, mut packet, verdict) in staged.drain(..) {
+                    if let Some(cause) = verdict {
+                        report.dropped_packets += 1;
+                        record_drop(&packet.dests, pending, drop_cause, cause);
+                        continue;
+                    }
+                    // Record delivery and strip the receiving node.
+                    if packet.dests.contains(&to) {
+                        packet.dests.retain(|&d| d != to);
+                        if pending[to.index()] {
+                            pending[to.index()] = false;
+                            *pending_count -= 1;
+                            deliveries.push((to, packet.hops, time));
+                            report.completion_time_s = report.completion_time_s.max(time);
+                        }
+                    }
+                    if packet.dests.is_empty() {
+                        continue;
+                    }
+                    let ctx = NodeContext {
+                        topo: self.topo,
+                        node: to,
+                        config: self.config,
+                        alive: has_events.then_some(alive.as_slice()),
+                    };
+                    protocol.on_packet(&ctx, packet, forwards);
+                    self.transmit_jittered(
+                        to,
+                        forwards,
+                        queue,
+                        &mut report,
+                        &energy,
+                        positions,
+                        on_air,
+                        &mut rng,
+                        pending,
+                        drop_cause,
+                    );
+                }
+                if report.truncated {
+                    break;
+                }
+            }
+        }
+        if !use_staged {
+            while let Some((time, event)) = queue.pop() {
+                events_processed += 1;
+                if events_processed > self.config.max_events {
+                    report.truncated = true;
+                    break;
+                }
+                let Event::Deliver {
+                    to,
+                    from,
+                    sent_at,
+                    retries,
+                    mut packet,
+                } = event;
+                if has_events {
+                    faults.advance_to(time, task.source, alive);
+                }
+                if !alive[to.index()] {
+                    report.dropped_packets += 1;
+                    record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
                     continue;
                 }
-            }
-            // Record delivery and strip the receiving node.
-            if packet.dests.contains(&to) {
-                packet.dests.retain(|&d| d != to);
-                if pending[to.index()] {
-                    pending[to.index()] = false;
-                    *pending_count -= 1;
-                    deliveries.push((to, packet.hops, time));
-                    report.completion_time_s = report.completion_time_s.max(time);
+                // Duty-cycle sleep: a sleeping receiver misses the copy just
+                // like a dead one, but wakes up again (and the oracle never
+                // excuses the miss).
+                if has_duty && to != task.source && faults.node_asleep(to, time) {
+                    report.dropped_packets += 1;
+                    record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
+                    continue;
                 }
+                // Link churn: the link was severed while the copy was on it.
+                if has_churn && faults.link_severed(from, to, time) {
+                    report.dropped_packets += 1;
+                    record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkDown);
+                    continue;
+                }
+                // Link-loss injection: the transmission was made (and paid
+                // for) but the copy never arrives.
+                if plan.transmission_lost(&mut rng) {
+                    report.dropped_packets += 1;
+                    record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkLoss);
+                    continue;
+                }
+                // Collision model: the copy is destroyed if any other audible
+                // node (or the half-duplex receiver itself) transmitted during
+                // its airtime. The link layer retries with backoff, up to the
+                // configured budget (802.11-style), paying for each attempt.
+                if self.config.collisions {
+                    on_air.prune(time);
+                    if self.collides(on_air, sent_at, time, from, to) {
+                        if retries < self.config.max_retransmissions {
+                            let airtime = time - sent_at;
+                            let backoff = if self.config.tx_jitter_s > 0.0 {
+                                rng.gen_range(
+                                    0.0..=self.config.tx_jitter_s * (retries as f64 + 1.0),
+                                )
+                            } else {
+                                airtime
+                            };
+                            let link_m = self.topo.pos(from).dist(self.topo.pos(to));
+                            let listeners = self.topo.neighbors(from).len();
+                            report.transmissions += 1;
+                            report.bytes_transmitted += self.config.message_bytes;
+                            report.links.push((from, to));
+                            report.energy_j += energy.transmission_energy(
+                                self.config.message_bytes,
+                                listeners,
+                                link_m,
+                            );
+                            let resend_at = time + backoff;
+                            report.link_times_s.push(resend_at);
+                            on_air.push(resend_at, resend_at + airtime, from);
+                            queue.schedule(
+                                resend_at + airtime,
+                                Event::Deliver {
+                                    to,
+                                    from,
+                                    sent_at: resend_at,
+                                    retries: retries + 1,
+                                    packet,
+                                },
+                            );
+                        } else {
+                            report.dropped_packets += 1;
+                            record_drop(
+                                &packet.dests,
+                                pending,
+                                drop_cause,
+                                FailureCause::Collision,
+                            );
+                        }
+                        continue;
+                    }
+                }
+                // Record delivery and strip the receiving node.
+                if packet.dests.contains(&to) {
+                    packet.dests.retain(|&d| d != to);
+                    if pending[to.index()] {
+                        pending[to.index()] = false;
+                        *pending_count -= 1;
+                        deliveries.push((to, packet.hops, time));
+                        report.completion_time_s = report.completion_time_s.max(time);
+                    }
+                }
+                if packet.dests.is_empty() {
+                    continue;
+                }
+                let ctx = NodeContext {
+                    topo: self.topo,
+                    node: to,
+                    config: self.config,
+                    alive: has_events.then_some(alive.as_slice()),
+                };
+                protocol.on_packet(&ctx, packet, forwards);
+                self.transmit_jittered(
+                    to,
+                    forwards,
+                    queue,
+                    &mut report,
+                    &energy,
+                    positions,
+                    on_air,
+                    &mut rng,
+                    pending,
+                    drop_cause,
+                );
             }
-            if packet.dests.is_empty() {
-                continue;
-            }
-            let ctx = NodeContext {
-                topo: self.topo,
-                node: to,
-                config: self.config,
-                alive: has_events.then_some(alive.as_slice()),
-            };
-            protocol.on_packet(&ctx, packet, forwards);
-            self.transmit_jittered(
-                to,
-                forwards,
-                queue,
-                &mut report,
-                &energy,
-                positions,
-                on_air,
-                &mut rng,
-                pending,
-                drop_cause,
-            );
         }
 
         for &(to, hops, time) in deliveries.iter() {

@@ -42,6 +42,6 @@ pub mod reference;
 pub mod rrstr;
 pub mod tree;
 
-pub use ratio::{reduction_ratio, reduction_ratio_with_spokes, PairEval};
+pub use ratio::{pair_bound_batch, reduction_ratio, reduction_ratio_with_spokes, PairEval};
 pub use rrstr::{rrstr, RadioRange};
 pub use tree::{SteinerTree, VertexKind};

@@ -77,6 +77,40 @@ pub fn reduction_ratio_with_spokes(s: Point, u: Point, v: Point, spokes: f64) ->
     }
 }
 
+/// Batch upper bounds on the reduction ratio, one lane per candidate
+/// pair: given the pair separation `dist_uv[i]` and the two-spoke cost
+/// `spokes[i]`, writes `½ − dist_uv[i] / (2·spokes[i])` into `out[i]`
+/// (or `½` when the spokes vanish below [`gmp_geom::EPS`]).
+///
+/// This is the half-perimeter bound rrSTR seeds its pair queue with:
+/// any tree connecting `{s, u, v}` is at least half the triangle
+/// perimeter long, so `RR ≤ ½ − d(u,v)/(2·spokes)` — see
+/// `rrstr::pair_entry` for the derivation. Each lane is bit-identical
+/// to the scalar expression: the degenerate-spokes test is the same
+/// `<=` comparison, and the division/multiplication sequence matches
+/// operand for operand (Rust performs no FMA contraction). The loop is
+/// branch-convertible over independent lanes, so LLVM turns it into
+/// masked vector code.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+pub fn pair_bound_batch(dist_uv: &[f64], spokes: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        dist_uv.len(),
+        spokes.len(),
+        "SoA lanes must agree in length"
+    );
+    assert_eq!(dist_uv.len(), out.len(), "output must match the lane count");
+    for i in 0..out.len() {
+        out[i] = if spokes[i] <= gmp_geom::EPS {
+            0.5
+        } else {
+            0.5 - dist_uv[i] / (2.0 * spokes[i])
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +290,39 @@ mod proptests {
             let rr_wide = at(a2 / 2.0);
             prop_assert!(rr_narrow >= rr_wide - 1e-9,
                 "RR({a1} rad) = {rr_narrow} < RR({a2} rad) = {rr_wide}");
+        }
+
+        #[test]
+        fn pair_bound_batch_is_bit_identical_to_scalar(
+            lanes in proptest::collection::vec(
+                (0.0..2000.0f64, 0.0..4000.0f64), 0..48,
+            ),
+            degenerate in proptest::bool::ANY,
+        ) {
+            // Mixed generic lanes plus, when `degenerate`, lanes pinned at
+            // and just around the EPS spokes cutoff.
+            let mut lanes = lanes;
+            if degenerate {
+                lanes.push((0.0, 0.0));
+                lanes.push((1.0, gmp_geom::EPS));
+                lanes.push((1.0, gmp_geom::EPS * 2.0));
+            }
+            let d: Vec<f64> = lanes.iter().map(|&(d, _)| d).collect();
+            let s: Vec<f64> = lanes.iter().map(|&(_, s)| s).collect();
+            let mut out = vec![0.0; lanes.len()];
+            pair_bound_batch(&d, &s, &mut out);
+            for i in 0..lanes.len() {
+                // The scalar expression from rrSTR's `pair_entry`.
+                let scalar = if s[i] <= gmp_geom::EPS {
+                    0.5
+                } else {
+                    0.5 - d[i] / (2.0 * s[i])
+                };
+                prop_assert_eq!(
+                    out[i].to_bits(), scalar.to_bits(),
+                    "lane {} diverged: batch {} vs scalar {}", i, out[i], scalar
+                );
+            }
         }
 
         #[test]

@@ -24,7 +24,7 @@ use std::collections::BinaryHeap;
 
 use gmp_geom::Point;
 
-use crate::ratio::reduction_ratio_with_spokes;
+use crate::ratio::{pair_bound_batch, reduction_ratio_with_spokes};
 use crate::tree::{SteinerTree, VertexId, VertexKind};
 
 /// Whether rrSTR applies the radio-range-aware pruning of Section 3.3.
@@ -145,6 +145,20 @@ pub struct RrstrScratch {
     /// queued entry can be valid, and the O(k²) stale tail need not be
     /// drained.
     active_count: usize,
+    /// SoA mirror of the destination coordinates (`xs[i], ys[i]` is
+    /// vertex `i + 1`), feeding the batched geometry kernels: the
+    /// registration distances and the O(k²) initial pair bounds run
+    /// through [`gmp_geom::dist_batch`] / [`crate::ratio::pair_bound_batch`]
+    /// row by row instead of one scalar call per pair.
+    xs: Vec<f64>,
+    /// SoA mirror of the destination y coordinates (see `xs`).
+    ys: Vec<f64>,
+    /// Batch kernel lanes: pair separations for the current row.
+    batch_d: Vec<f64>,
+    /// Batch kernel lanes: two-spoke costs for the current row.
+    batch_s: Vec<f64>,
+    /// Batch kernel lanes: ratio upper bounds for the current row.
+    batch_b: Vec<f64>,
 }
 
 impl RrstrScratch {
@@ -256,19 +270,60 @@ pub fn rrstr_into(
     scratch.active_count = 0;
     scratch.add_vertex(tree.root(), false, 0.0);
     let n = dests.len();
+
+    // Mirror the destinations into SoA lanes once; the registration
+    // distances and every initial pair bound then run through the batch
+    // kernels. Each lane is bit-identical to the scalar expression it
+    // replaces (see `dist_batch` / `pair_bound_batch`), so the sorted
+    // pair order — and with it every merge — is unchanged.
+    scratch.xs.clear();
+    scratch.ys.clear();
+    for &d in dests {
+        scratch.xs.push(d.x);
+        scratch.ys.push(d.y);
+    }
+    scratch.batch_d.clear();
+    scratch.batch_d.resize(n, 0.0);
+    gmp_geom::dist_batch(source, &scratch.xs, &scratch.ys, &mut scratch.batch_d);
     for (i, &d) in dests.iter().enumerate() {
         let v = tree.add_vertex(VertexKind::Terminal(i), d);
         debug_assert_eq!(v, i + 1);
-        scratch.add_vertex(v, true, source.dist(d));
+        let dist_to_source = scratch.batch_d[i];
+        scratch.add_vertex(v, true, dist_to_source);
     }
 
     // Build the initial pair set as a flat vector and sort it descending
     // in one O(k² log k) pass: consuming it is then a cache-friendly scan
-    // rather than k² heap sifts.
+    // rather than k² heap sifts. Pairs are generated a row at a time —
+    // row `u` holds the lanes `v = u+1..=n` — through the batch kernels;
+    // `pair_entry`'s (min, max) normalization is the identity here since
+    // `u < v` throughout, and the `+ 1e-9` rounding margin is applied at
+    // pack time exactly as the scalar path does.
     let mut pairs = std::mem::take(&mut scratch.sorted);
-    for u in 1..=n {
-        for v in (u + 1)..=n {
-            pairs.push(pair_entry(scratch, tree, u, v));
+    scratch.batch_b.clear();
+    scratch.batch_b.resize(n.saturating_sub(1), 0.0);
+    for u in 1..n {
+        let lanes = n - u;
+        let pu = tree.pos(u);
+        let du = scratch.dist_s[u];
+        gmp_geom::dist_batch(
+            pu,
+            &scratch.xs[u..],
+            &scratch.ys[u..],
+            &mut scratch.batch_d[..lanes],
+        );
+        scratch.batch_s.clear();
+        scratch
+            .batch_s
+            .extend(scratch.dist_s[u + 1..=n].iter().map(|&dv| du + dv));
+        pair_bound_batch(
+            &scratch.batch_d[..lanes],
+            &scratch.batch_s,
+            &mut scratch.batch_b[..lanes],
+        );
+        for (j, &bound) in scratch.batch_b[..lanes].iter().enumerate() {
+            let v = u + 1 + j;
+            pairs.push(pair_key(bound + 1e-9, u as u16, v as u16, 0));
         }
     }
     pairs.sort_unstable_by(|a, b| b.cmp(a));
