@@ -385,7 +385,6 @@ mod tests {
             .with_node_count(450);
         let near = |p: Point| {
             topo.nodes()
-                .iter()
                 .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
                 .unwrap()
                 .id

@@ -178,7 +178,6 @@ mod tests {
         let topo = Topology::random(&config.topology_config(), 8);
         let near = |p: Point| {
             topo.nodes()
-                .iter()
                 .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
                 .unwrap()
                 .id

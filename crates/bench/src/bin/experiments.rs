@@ -35,6 +35,10 @@
 //! `BENCH_1.json` (decisions/sec, tasks/sec, wall-clock, allocs/decision)
 //! under `--out` — the machine-readable perf trajectory described in
 //! EXPERIMENTS.md. Run it from a `--release` build.
+//!
+//! `scale` runs the million-node scale curve over the sharded lazy
+//! substrate and writes `BENCH_4.json` (per-task throughput, build time,
+//! and peak RSS at 1k/10k/100k/1M nodes; `--quick` stops at 10k).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -733,8 +737,9 @@ fn run_bench(args: &Args) {
     assert!(delivered > 0, "task workload delivered nothing");
 
     let wall_clock_s = wall_start.elapsed().as_secs_f64();
+    let peak_rss = gmp_bench::rss::json_opt_u64(gmp_bench::peak_rss_bytes());
     let json = format!(
-        "{{\n  \"schema\": \"gmp-bench/1\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k_values\": [5, 15, 25],\n    \"decision_samples\": {decisions},\n    \"task_samples\": {task_count}\n  }},\n  \"decisions_per_sec\": {decisions_per_sec:.1},\n  \"tasks_per_sec\": {tasks_per_sec:.1},\n  \"wall_clock_s\": {wall_clock_s:.3},\n  \"allocs_per_decision\": {allocs_per_decision:.4},\n  \"decision_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"fallbacks\": {cache_fallbacks},\n    \"evictions\": {cache_evictions},\n    \"hit_rate\": {cache_hit_rate:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"gmp-bench/1\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k_values\": [5, 15, 25],\n    \"decision_samples\": {decisions},\n    \"task_samples\": {task_count}\n  }},\n  \"decisions_per_sec\": {decisions_per_sec:.1},\n  \"tasks_per_sec\": {tasks_per_sec:.1},\n  \"wall_clock_s\": {wall_clock_s:.3},\n  \"allocs_per_decision\": {allocs_per_decision:.4},\n  \"peak_rss_bytes\": {peak_rss},\n  \"decision_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"fallbacks\": {cache_fallbacks},\n    \"evictions\": {cache_evictions},\n    \"hit_rate\": {cache_hit_rate:.4}\n  }}\n}}\n",
         config.node_count,
     );
     print!("{json}");
@@ -828,8 +833,9 @@ fn run_bench2(args: &Args) {
         )
     };
 
+    let peak_rss = gmp_bench::rss::json_opt_u64(gmp_bench::peak_rss_bytes());
     let json = format!(
-        "{{\n  \"schema\": \"gmp-bench/2\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k\": 25,\n    \"tasks\": {task_count},\n    \"collision_config\": {{ \"tx_jitter_s\": 0.005, \"max_retransmissions\": 7 }},\n    \"window_s\": {window_s:.1}\n  }},\n  \"collisions_off_tasks_per_sec\": {off:.1},\n  \"collisions_on_tasks_per_sec\": {on:.1},\n  \"seed_baseline\": {{\n    \"collisions_off_tasks_per_sec\": {seed_baseline_off:.1},\n    \"collisions_on_tasks_per_sec\": {seed_baseline_on:.1}\n  }},\n  \"speedup_collisions_off\": {:.3},\n  \"speedup_collisions_on\": {:.3},\n  \"decision_cache\": {{\n    \"collisions_off\": {},\n    \"collisions_on\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"gmp-bench/2\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k\": 25,\n    \"tasks\": {task_count},\n    \"collision_config\": {{ \"tx_jitter_s\": 0.005, \"max_retransmissions\": 7 }},\n    \"window_s\": {window_s:.1}\n  }},\n  \"collisions_off_tasks_per_sec\": {off:.1},\n  \"collisions_on_tasks_per_sec\": {on:.1},\n  \"seed_baseline\": {{\n    \"collisions_off_tasks_per_sec\": {seed_baseline_off:.1},\n    \"collisions_on_tasks_per_sec\": {seed_baseline_on:.1}\n  }},\n  \"speedup_collisions_off\": {:.3},\n  \"speedup_collisions_on\": {:.3},\n  \"peak_rss_bytes\": {peak_rss},\n  \"decision_cache\": {{\n    \"collisions_off\": {},\n    \"collisions_on\": {}\n  }}\n}}\n",
         base.node_count,
         off / seed_baseline_off,
         on / seed_baseline_on,
@@ -838,6 +844,125 @@ fn run_bench2(args: &Args) {
     );
     print!("{json}");
     let path = args.out.join("BENCH_2.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// The scale curve behind `BENCH_4.json`: per-task routing cost at
+/// 1k/10k/100k/1M nodes over the sharded lazy substrate, at constant paper
+/// density. `--quick` runs the 1k/10k prefix (the CI smoke gate). See
+/// EXPERIMENTS.md for the trajectory table and DESIGN.md for the substrate.
+fn run_scale(args: &Args) {
+    use gmp_bench::rss::json_opt_u64;
+    use gmp_bench::scale::{scale_curve, EAGER_CUTOFF, MARGIN, RADIO_RANGE, WINDOW_SIDE};
+
+    let quick = args.scale == Scale::quick();
+    let node_counts: Vec<usize> = if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 100_000, 1_000_000]
+    };
+    let (windows, tasks_per_window) = if quick { (4, 25) } else { (8, 50) };
+    let k = 10usize;
+    eprintln!(
+        "running scale curve: nodes ∈ {node_counts:?}, {windows} windows × {tasks_per_window} tasks, k = {k}…"
+    );
+    let start = Instant::now();
+    let alloc_counter = || ALLOCS.load(Ordering::Relaxed);
+    let points = scale_curve(
+        &node_counts,
+        windows,
+        tasks_per_window,
+        k,
+        Some(&alloc_counter),
+    );
+    eprintln!(
+        "scale curve finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+
+    let mut table = vec![vec![
+        "nodes".to_string(),
+        "area side".to_string(),
+        "substrate (s)".to_string(),
+        "eager (s)".to_string(),
+        "mat. nodes".to_string(),
+        "tasks/s/core".to_string(),
+        "decisions/s".to_string(),
+        "allocs/dec".to_string(),
+        "peak RSS".to_string(),
+    ]];
+    for p in &points {
+        table.push(vec![
+            p.nodes.to_string(),
+            format!("{:.0} m", p.area_side),
+            format!("{:.4}", p.substrate_build_s),
+            p.eager_build_s
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            p.materialized_nodes.to_string(),
+            format!("{:.1}", p.tasks_per_sec),
+            format!("{:.0}", p.decisions_per_sec),
+            p.allocs_per_decision
+                .map(|a| format!("{a:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            p.peak_rss_bytes
+                .map(|b| format!("{:.1} MiB", b as f64 / (1024.0 * 1024.0)))
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!(
+        "\nScale curve — per-task cost vs network size (paper density)\n{}",
+        render_table(&table)
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"gmp-bench/4\",\n  \"workload\": {\n");
+    json.push_str(&format!("    \"window_side_m\": {WINDOW_SIDE},\n"));
+    json.push_str(&format!("    \"margin_m\": {MARGIN},\n"));
+    json.push_str(&format!("    \"radio_range_m\": {RADIO_RANGE},\n"));
+    json.push_str("    \"density_per_m2\": 0.001,\n");
+    json.push_str(&format!("    \"windows\": {windows},\n"));
+    json.push_str(&format!("    \"tasks_per_window\": {tasks_per_window},\n"));
+    json.push_str(&format!("    \"k\": {k},\n"));
+    json.push_str(&format!("    \"eager_cutoff_nodes\": {EAGER_CUTOFF}\n"));
+    json.push_str("  },\n  \"note\": \"throughput figures are per worker-core; peak_rss_bytes is the process high-water mark, cumulative across points\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"nodes\": {}, \"area_side_m\": {}, \"tile_count\": {}, \
+             \"substrate_build_s\": {}, \"eager_build_s\": {}, \"region_build_s\": {}, \
+             \"materialized_tiles\": {}, \"materialized_nodes\": {}, \"substrate_heap_bytes\": {}, \
+             \"windows\": {}, \"tasks\": {}, \"failed_tasks\": {}, \"tasks_per_sec\": {}, \
+             \"decisions_per_sec\": {}, \"allocs_per_decision\": {}, \"wall_clock_s\": {}, \
+             \"peak_rss_bytes\": {} }}{}\n",
+            p.nodes,
+            json_f64(p.area_side),
+            p.tile_count,
+            json_f64(p.substrate_build_s),
+            p.eager_build_s.map_or_else(|| "null".into(), json_f64),
+            json_f64(p.region_build_s),
+            p.materialized_tiles,
+            p.materialized_nodes,
+            p.substrate_heap_bytes,
+            p.windows,
+            p.tasks,
+            p.failed_tasks,
+            json_f64(p.tasks_per_sec),
+            json_f64(p.decisions_per_sec),
+            p.allocs_per_decision
+                .map_or_else(|| "null".into(), json_f64),
+            json_f64(p.wall_clock_s),
+            json_opt_u64(p.peak_rss_bytes),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("warning: could not create {}: {e}", args.out.display());
+    }
+    let path = args.out.join("BENCH_4.json");
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -965,7 +1090,10 @@ fn run_campaign(args: &Args) {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str(&format!(
+        "  ],\n  \"peak_rss_bytes\": {}\n}}\n",
+        gmp_bench::rss::json_opt_u64(gmp_bench::peak_rss_bytes())
+    ));
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("warning: could not create {}: {e}", args.out.display());
     }
@@ -982,7 +1110,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|bench|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax|campaign> \
+                "usage: experiments <all|bench|scale|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax|campaign> \
                  [--quick|--standard|--paper] [--threads N] [--out DIR]"
             );
             return ExitCode::FAILURE;
@@ -1022,6 +1150,7 @@ fn main() -> ExitCode {
         "overhead" => run_overhead(&args),
         "treelen" => run_treelen(&args),
         "bench" => run_bench(&args),
+        "scale" => run_scale(&args),
         other => {
             eprintln!("unknown command: {other}");
             return ExitCode::FAILURE;

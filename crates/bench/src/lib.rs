@@ -22,6 +22,8 @@ pub mod campaign;
 pub mod chart;
 pub mod experiments;
 pub mod protocols;
+pub mod rss;
+pub mod scale;
 pub mod table;
 
 pub use campaign::{robustness_campaign, CampaignRow};
@@ -32,6 +34,8 @@ pub use experiments::{
     DensityRow, Scale, SweepRow,
 };
 pub use protocols::ProtocolKind;
+pub use rss::peak_rss_bytes;
+pub use scale::{scale_curve, ScalePoint};
 pub use table::{render_table, write_csv};
 
 /// Planar-kind constants shared with the ablation (kept out of the public

@@ -1,0 +1,69 @@
+//! Paper-scale TaskReport parity between the eager topology path and the
+//! sharded lazy substrate, plus sanity for the scale-curve machinery.
+//!
+//! The load-bearing constraint of the million-node substrate is that it
+//! changes *where nodes come from*, never *what routing does*: a 1000-node
+//! deployment generated tile-by-tile and routed with GMP must produce
+//! bit-identical [`gmp_sim::TaskReport`]s to the same positions fed through
+//! the eager [`gmp_net::Topology`] constructor.
+
+use gmp_bench::scale::assert_substrate_parity;
+use gmp_core::GmpRouter;
+use gmp_geom::{Aabb, Point};
+use gmp_net::{ShardConfig, ShardedTopology};
+use gmp_sim::{MulticastTask, RegionSim, SimConfig, SimScratch, TaskRunner};
+use proptest::prelude::*;
+
+#[test]
+fn paper_scale_task_reports_are_bit_identical() {
+    assert_substrate_parity(1000, 42, 10, 10);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn task_report_parity_across_seeds_and_group_sizes(
+        seed in 0u64..200,
+        k in 3usize..20,
+    ) {
+        assert_substrate_parity(600, seed, 3, k);
+    }
+}
+
+/// Tasks drawn inside a window of a large network route exactly like the
+/// same tasks on the full materialization: the region contains every node
+/// a window task can touch (up to the margin), and node positions agree,
+/// so the per-hop decisions — and hence the whole report — coincide.
+#[test]
+fn window_tasks_match_full_network_reports() {
+    let st = ShardedTopology::new(ShardConfig::paper_density(10_000, 150.0), 5);
+    let side = st.area().width();
+    let window = Aabb::new(
+        Point::new(side * 0.4, side * 0.4),
+        Point::new(side * 0.4 + 1000.0, side * 0.4 + 1000.0),
+    );
+    let sim = RegionSim::new(&st, window, 300.0);
+    let full = st.materialize_full();
+    let config = SimConfig::paper();
+    let region_runner = sim.runner(&config);
+    let full_runner = TaskRunner::new(&full, &config);
+    let mut scratch_a = SimScratch::new();
+    let mut scratch_b = SimScratch::new();
+    for t in 0..5 {
+        let task = sim.random_task(10, 400 + t);
+        let global_task = MulticastTask::new(
+            sim.view().global(task.source),
+            task.dests.iter().map(|&d| sim.view().global(d)).collect(),
+        );
+        let mut router_a = GmpRouter::new();
+        let mut router_b = GmpRouter::new();
+        let a = region_runner.run_with_scratch(&mut router_a, &task, 9, &mut scratch_a);
+        let b = full_runner.run_with_scratch(&mut router_b, &global_task, 9, &mut scratch_b);
+        // Node ids differ between the two frames, so compare the
+        // id-independent outcome of every simulated event.
+        assert_eq!(a.transmissions, b.transmissions, "task {t}");
+        assert_eq!(a.energy_j, b.energy_j, "task {t}");
+        assert_eq!(a.delivered_all(), b.delivered_all(), "task {t}");
+    }
+}

@@ -201,7 +201,6 @@ mod tests {
         // the hole, forcing perimeter-mode approach.
         let near = |p: Point| {
             topo.nodes()
-                .iter()
                 .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
                 .unwrap()
                 .id

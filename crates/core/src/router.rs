@@ -340,7 +340,6 @@ mod tests {
         // Source and destinations straddling the hole.
         let near = |p: Point| {
             topo.nodes()
-                .iter()
                 .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
                 .unwrap()
                 .id
@@ -394,7 +393,6 @@ mod tests {
         let topo = Topology::random(&config.topology_config(), 13);
         let near = |p: Point| {
             topo.nodes()
-                .iter()
                 .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
                 .unwrap()
                 .id

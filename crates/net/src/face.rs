@@ -398,7 +398,6 @@ mod tests {
             // Route across the hole: pick the nodes nearest opposite corners.
             let near = |target: Point| {
                 topo.nodes()
-                    .iter()
                     .min_by(|a, b| a.pos.dist_sq(target).total_cmp(&b.pos.dist_sq(target)))
                     .unwrap()
                     .id

@@ -71,6 +71,24 @@ impl GridIndex {
         radius: f64,
         exclude: Option<NodeId>,
     ) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.within_into(positions, center, radius, exclude, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`GridIndex::within`]: **appends** matching
+    /// ids to `out` without clearing it, so a reused buffer never touches
+    /// the allocator once grown and multi-grid callers (the sharded
+    /// substrate) can accumulate one result across several indices.
+    /// Callers owning the buffer clear it before the first call.
+    pub fn within_into(
+        &self,
+        positions: &[Point],
+        center: Point,
+        radius: f64,
+        exclude: Option<NodeId>,
+        out: &mut Vec<NodeId>,
+    ) {
         debug_assert!(
             radius <= self.cell + gmp_geom::EPS,
             "query radius {radius} exceeds index cell {}",
@@ -78,7 +96,6 @@ impl GridIndex {
         );
         let (cx, cy) = self.cell_coords(center);
         let r_sq = radius * radius;
-        let mut out = Vec::new();
         let x0 = cx.saturating_sub(1);
         let y0 = cy.saturating_sub(1);
         let x1 = (cx + 1).min(self.cols - 1);
@@ -95,7 +112,18 @@ impl GridIndex {
                 }
             }
         }
-        out
+    }
+
+    /// The bounds this index was built over.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        Aabb::new(
+            self.origin,
+            Point::new(
+                self.origin.x + self.cols as f64 * self.cell,
+                self.origin.y + self.rows as f64 * self.cell,
+            ),
+        )
     }
 }
 
@@ -179,5 +207,19 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_radius_panics() {
         GridIndex::build(Aabb::square(10.0), 0.0, &[]);
+    }
+
+    #[test]
+    fn within_into_appends_without_clearing() {
+        let positions = vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let idx = GridIndex::build(Aabb::square(10.0), 5.0, &positions);
+        let mut out = vec![NodeId(99)];
+        idx.within_into(&positions, positions[0], 5.0, Some(NodeId(0)), &mut out);
+        assert_eq!(out, vec![NodeId(99), NodeId(1)]);
+        // And the result matches the allocating variant after the prefix.
+        assert_eq!(
+            out[1..].to_vec(),
+            idx.within(&positions, positions[0], 5.0, Some(NodeId(0)))
+        );
     }
 }

@@ -33,15 +33,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod csr;
 pub mod face;
 pub mod graph;
 pub mod grid;
 pub mod mobility;
 pub mod node;
 pub mod planar;
+pub mod shard;
 pub mod topology;
 
+pub use csr::Csr;
 pub use face::PerimeterState;
 pub use node::{Node, NodeId};
 pub use planar::PlanarKind;
+pub use shard::{RegionView, ShardConfig, ShardedTopology};
 pub use topology::{Topology, TopologyConfig};

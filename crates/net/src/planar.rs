@@ -20,6 +20,7 @@
 
 use gmp_geom::predicates::{in_diametral_disk, in_lune};
 
+use crate::csr::Csr;
 use crate::node::NodeId;
 use crate::topology::Topology;
 
@@ -34,17 +35,16 @@ pub enum PlanarKind {
     RelativeNeighborhood,
 }
 
-/// Computes the planarized neighbor lists for every node.
-///
-/// The result is indexable by [`NodeId::index`] and each list is sorted.
+/// Computes the planarized neighbor lists for every node as a flat CSR
+/// layout; row `i` is the sorted planar neighbor list of node `i`.
 /// This is what [`Topology::planar_neighbors`] caches.
-pub fn planarize(topo: &Topology, kind: PlanarKind) -> Vec<Vec<NodeId>> {
-    (0..topo.len())
-        .map(|i| {
-            let u = NodeId(i as u32);
-            local_planar_neighbors(topo, u, kind)
-        })
-        .collect()
+pub fn planarize(topo: &Topology, kind: PlanarKind) -> Csr<NodeId> {
+    let mut csr = Csr::with_capacity(topo.len(), topo.len() * 4);
+    for i in 0..topo.len() {
+        let u = NodeId(i as u32);
+        csr.push_row(local_planar_neighbors(topo, u, kind));
+    }
+    csr
 }
 
 /// Computes the planarized neighbor list of a single node using only its
@@ -83,7 +83,7 @@ mod tests {
         Topology::random(&TopologyConfig::new(500.0, 120, 120.0), seed)
     }
 
-    fn edge_set(adj: &[Vec<NodeId>]) -> Vec<(usize, usize)> {
+    fn edge_set(adj: &Csr<NodeId>) -> Vec<(usize, usize)> {
         let mut edges = Vec::new();
         for (i, list) in adj.iter().enumerate() {
             for &j in list {
@@ -107,7 +107,10 @@ mod tests {
                         topo.neighbors(u).contains(&v),
                         "planar edge must be UDG edge"
                     );
-                    assert!(adj[v.index()].contains(&u), "planar adjacency symmetric");
+                    assert!(
+                        adj.row(v.index()).contains(&u),
+                        "planar adjacency symmetric"
+                    );
                 }
             }
         }
@@ -121,7 +124,7 @@ mod tests {
         for (i, list) in rng.iter().enumerate() {
             for &v in list {
                 assert!(
-                    gg[i].contains(&v),
+                    gg.row(i).contains(&v),
                     "RNG edge ({i},{v}) missing from Gabriel graph"
                 );
             }
@@ -162,7 +165,7 @@ mod tests {
                 seen[0] = true;
                 let mut count = 1;
                 while let Some(u) = q.pop_front() {
-                    for &v in &adj[u] {
+                    for &v in adj.row(u) {
                         if !seen[v.index()] {
                             seen[v.index()] = true;
                             count += 1;
@@ -181,7 +184,7 @@ mod tests {
         let global = planarize(&topo, PlanarKind::Gabriel);
         for i in (0..topo.len()).step_by(10) {
             let local = local_planar_neighbors(&topo, NodeId(i as u32), PlanarKind::Gabriel);
-            assert_eq!(local, global[i]);
+            assert_eq!(local.as_slice(), global.row(i));
         }
     }
 
@@ -199,9 +202,9 @@ mod tests {
             150.0,
         );
         let gg = planarize(&topo, PlanarKind::Gabriel);
-        assert!(!gg[0].contains(&NodeId(2)));
-        assert!(gg[0].contains(&NodeId(1)));
-        assert!(gg[2].contains(&NodeId(1)));
+        assert!(!gg.row(0).contains(&NodeId(2)));
+        assert!(gg.row(0).contains(&NodeId(1)));
+        assert!(gg.row(2).contains(&NodeId(1)));
     }
 
     #[test]

@@ -7,9 +7,16 @@ use gmp_geom::{Aabb, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::csr::Csr;
 use crate::grid::GridIndex;
 use crate::node::{Node, NodeId};
 use crate::planar::{planarize, PlanarKind};
+
+/// Cap on rejection-sampling attempts when drawing a node position that
+/// avoids every hole. Hitting it means the holes (practically) cover the
+/// sampling region; the generators panic with the offending hole config
+/// instead of spinning forever.
+pub(crate) const MAX_PLACEMENT_ATTEMPTS: usize = 100_000;
 
 /// How nodes are placed in the deployment area.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,16 +126,20 @@ impl TopologyConfig {
 /// All protocol code receives a `&Topology` and may only use *local*
 /// information from it (its own position and its neighbors' positions);
 /// the centralized SMT baseline is the documented exception.
+///
+/// Storage is struct-of-arrays: node positions live in one flat `Vec`
+/// (a node record is synthesized on demand by [`Topology::nodes`]) and
+/// adjacency, planar subgraphs, and neighbor distances are [`Csr`] layouts
+/// — two flat arrays each, independent of node count.
 #[derive(Debug)]
 pub struct Topology {
-    nodes: Vec<Node>,
     positions: Vec<Point>,
     area: Aabb,
     radio_range: f64,
-    adjacency: Vec<Vec<NodeId>>,
-    gabriel: OnceLock<Vec<Vec<NodeId>>>,
-    rng_graph: OnceLock<Vec<Vec<NodeId>>>,
-    neighbor_dists: OnceLock<Vec<Vec<f64>>>,
+    adjacency: Csr<NodeId>,
+    gabriel: OnceLock<Csr<NodeId>>,
+    rng_graph: OnceLock<Csr<NodeId>>,
+    neighbor_dists: OnceLock<Csr<f64>>,
 }
 
 impl Topology {
@@ -140,22 +151,16 @@ impl Topology {
     pub fn from_positions(positions: Vec<Point>, area: Aabb, radio_range: f64) -> Self {
         assert!(radio_range > 0.0, "radio range must be positive");
         let grid = GridIndex::build(area, radio_range, &positions);
-        let adjacency: Vec<Vec<NodeId>> = positions
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| {
-                let mut v = grid.within(&positions, p, radio_range, Some(NodeId(i as u32)));
-                v.sort();
-                v
-            })
-            .collect();
-        let nodes = positions
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| Node::new(NodeId(i as u32), p))
-            .collect();
+        // Straight into CSR: one reused query buffer, no per-node Vec.
+        let mut adjacency = Csr::with_capacity(positions.len(), positions.len() * 8);
+        let mut buf: Vec<NodeId> = Vec::new();
+        for (i, &p) in positions.iter().enumerate() {
+            buf.clear();
+            grid.within_into(&positions, p, radio_range, Some(NodeId(i as u32)), &mut buf);
+            buf.sort_unstable();
+            adjacency.push_row(buf.iter().copied());
+        }
         Topology {
-            nodes,
             positions,
             area,
             radio_range,
@@ -181,7 +186,7 @@ impl Topology {
         let mut positions = Vec::with_capacity(config.node_count);
         let area = config.area;
         let sample_free = |rng: &mut StdRng, holes: &[Hole]| -> Point {
-            loop {
+            for _ in 0..MAX_PLACEMENT_ATTEMPTS {
                 let p = Point::new(
                     rng.gen_range(area.min.x..=area.max.x),
                     rng.gen_range(area.min.y..=area.max.y),
@@ -190,6 +195,10 @@ impl Topology {
                     return p;
                 }
             }
+            panic!(
+                "holes cover the deployment area {area:?}: no free point found \
+                 in {MAX_PLACEMENT_ATTEMPTS} attempts (holes: {holes:?})"
+            );
         };
         match &config.placement {
             Placement::UniformRandom => {
@@ -229,6 +238,7 @@ impl Topology {
                     .map(|_| sample_free(&mut rng, &config.holes))
                     .collect();
                 for _ in 0..config.node_count {
+                    let mut attempts = 0usize;
                     loop {
                         let c = centers[rng.gen_range(0..centers.len())];
                         // Box–Muller normal sample.
@@ -241,6 +251,14 @@ impl Topology {
                             positions.push(p);
                             break;
                         }
+                        attempts += 1;
+                        assert!(
+                            attempts < MAX_PLACEMENT_ATTEMPTS,
+                            "clustered placement found no free point around any of {} centers \
+                             in {MAX_PLACEMENT_ATTEMPTS} attempts (spread {spread}, holes: {:?})",
+                            centers.len(),
+                            config.holes,
+                        );
                     }
                 }
             }
@@ -251,13 +269,13 @@ impl Topology {
     /// Number of nodes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.positions.len()
     }
 
     /// Returns `true` if the topology has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.positions.is_empty()
     }
 
     /// The deployment area.
@@ -279,13 +297,16 @@ impl Topology {
     /// Panics if `id` is out of range.
     #[inline]
     pub fn pos(&self, id: NodeId) -> Point {
-        self.nodes[id.index()].pos
+        self.positions[id.index()]
     }
 
-    /// All node records.
-    #[inline]
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    /// Iterates over all node records in id order. Records are synthesized
+    /// from the flat position array — the topology stores no `Vec<Node>`.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = Node> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| Node::new(NodeId(i as u32), p))
     }
 
     /// All node positions, indexable by [`NodeId::index`].
@@ -305,12 +326,13 @@ impl Topology {
     /// sorted by id.
     #[inline]
     pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
-        &self.adjacency[id.index()]
+        self.adjacency.row(id.index())
     }
 
-    /// Full unit-disk adjacency, indexable by [`NodeId::index`].
+    /// Full unit-disk adjacency as a CSR layout; row `i` is the sorted
+    /// neighbor list of node `i`.
     #[inline]
-    pub fn adjacency(&self) -> &[Vec<NodeId>] {
+    pub fn adjacency(&self) -> &Csr<NodeId> {
         &self.adjacency
     }
 
@@ -332,7 +354,7 @@ impl Topology {
             PlanarKind::RelativeNeighborhood => &self.rng_graph,
         };
         let adj = cache.get_or_init(|| planarize(self, kind));
-        &adj[id.index()]
+        adj.row(id.index())
     }
 
     /// The distances from `id` to each of its unit-disk neighbors, sorted
@@ -342,26 +364,23 @@ impl Topology {
     /// linear distance filter would keep (power-control listener counts).
     pub fn neighbor_distances(&self, id: NodeId) -> &[f64] {
         let all = self.neighbor_dists.get_or_init(|| {
-            self.adjacency
-                .iter()
-                .enumerate()
-                .map(|(i, neigh)| {
-                    let p = self.positions[i];
-                    let mut d: Vec<f64> = neigh
-                        .iter()
-                        .map(|&n| p.dist(self.positions[n.index()]))
-                        .collect();
-                    d.sort_unstable_by(|a, b| a.total_cmp(b));
-                    d
-                })
-                .collect()
+            let mut csr = Csr::with_capacity(self.len(), self.adjacency.total_len());
+            let mut d: Vec<f64> = Vec::new();
+            for (i, neigh) in self.adjacency.iter().enumerate() {
+                let p = self.positions[i];
+                d.clear();
+                d.extend(neigh.iter().map(|&n| p.dist(self.positions[n.index()])));
+                d.sort_unstable_by(|a, b| a.total_cmp(b));
+                csr.push_row(d.iter().copied());
+            }
+            csr
         });
-        &all[id.index()]
+        all.row(id.index())
     }
 
     /// Whether the unit-disk graph is connected (BFS from node 0).
     pub fn is_connected(&self) -> bool {
-        if self.nodes.is_empty() {
+        if self.positions.is_empty() {
             return true;
         }
         let mut seen = vec![false; self.len()];
@@ -383,11 +402,22 @@ impl Topology {
     /// Average unit-disk degree — the paper's density knob (Fig. 15 sweeps
     /// the node count, which sweeps this).
     pub fn average_degree(&self) -> f64 {
-        if self.nodes.is_empty() {
+        if self.positions.is_empty() {
             return 0.0;
         }
-        let total: usize = self.adjacency.iter().map(Vec::len).sum();
-        total as f64 / self.len() as f64
+        self.adjacency.total_len() as f64 / self.len() as f64
+    }
+
+    /// Approximate heap footprint of the always-materialized storage
+    /// (positions + CSR adjacency), in bytes. Lazily cached planar graphs
+    /// and neighbor distances are included only once computed.
+    pub fn heap_bytes(&self) -> usize {
+        let lazy = |c: &OnceLock<Csr<NodeId>>| c.get().map_or(0, Csr::heap_bytes);
+        self.positions.capacity() * std::mem::size_of::<Point>()
+            + self.adjacency.heap_bytes()
+            + lazy(&self.gabriel)
+            + lazy(&self.rng_graph)
+            + self.neighbor_dists.get().map_or(0, Csr::heap_bytes)
     }
 }
 

@@ -135,7 +135,6 @@ impl<'a> GeocastRunner<'a> {
         let members: Vec<NodeId> = self
             .topo
             .nodes()
-            .iter()
             .filter(|n| task.region.contains(n.pos))
             .map(|n| n.id)
             .collect();

@@ -37,6 +37,7 @@ pub mod geocast;
 pub mod metrics;
 pub mod packet;
 pub mod protocol;
+pub mod region;
 pub mod runner;
 pub mod scenario;
 pub mod task;
@@ -48,6 +49,7 @@ pub use gmp_faults::{FailedDest, FailureCause, FaultEvent, FaultPlan, FaultRegio
 pub use metrics::TaskReport;
 pub use packet::{DestList, MulticastPacket, RoutingState};
 pub use protocol::{Forward, NodeContext, Protocol};
+pub use region::RegionSim;
 pub use runner::{SimScratch, TaskRunner};
 pub use scenario::Scenario;
 pub use task::MulticastTask;

@@ -1,0 +1,203 @@
+//! Region-scoped simulation over the sharded substrate.
+//!
+//! At 100k–1M nodes, running a multicast task must not require the whole
+//! network: GMP's forwarding is local, so a task whose source and
+//! destinations sit inside a *window* only ever touches nodes near the
+//! window. [`RegionSim`] materializes exactly that — the window inflated by
+//! a routing-slack margin, snapped to substrate tiles — as an eager
+//! [`Topology`] the unchanged [`TaskRunner`](crate::TaskRunner) can consume,
+//! plus the id bookkeeping to translate results back to global node ids.
+
+use gmp_geom::{Aabb, Point};
+use gmp_net::shard::{RegionView, ShardedTopology};
+use gmp_net::{NodeId, Topology};
+
+use crate::config::SimConfig;
+use crate::runner::TaskRunner;
+use crate::task::MulticastTask;
+
+/// A task window of a [`ShardedTopology`] materialized for simulation.
+///
+/// The simulated topology covers `window` inflated by `margin` meters
+/// (clamped to the deployment area and snapped outward to tile boundaries);
+/// tasks drawn by [`RegionSim::random_task`] keep their source and
+/// destinations strictly inside `window`, so routes have at least `margin`
+/// of detour slack before hitting the materialized rim.
+#[derive(Debug)]
+pub struct RegionSim {
+    view: RegionView,
+    window: Aabb,
+    /// Region-local ids of the nodes inside `window`, ascending.
+    window_locals: Vec<NodeId>,
+}
+
+impl RegionSim {
+    /// Materializes `window ⊕ margin` from the substrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is negative.
+    pub fn new(sharded: &ShardedTopology, window: Aabb, margin: f64) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        let area = sharded.area();
+        let inflated = Aabb::new(
+            Point::new(
+                (window.min.x - margin).max(area.min.x),
+                (window.min.y - margin).max(area.min.y),
+            ),
+            Point::new(
+                (window.max.x + margin).min(area.max.x),
+                (window.max.y + margin).min(area.max.y),
+            ),
+        );
+        let view = sharded.materialize_region(inflated);
+        let window_locals = (0..view.topology.len() as u32)
+            .map(NodeId)
+            .filter(|&id| window.contains(view.topology.pos(id)))
+            .collect();
+        RegionSim {
+            view,
+            window,
+            window_locals,
+        }
+    }
+
+    /// The materialized topology (region-local node ids).
+    #[inline]
+    pub fn topology(&self) -> &Topology {
+        &self.view.topology
+    }
+
+    /// The underlying region view, for local ↔ global id translation.
+    #[inline]
+    pub fn view(&self) -> &RegionView {
+        &self.view
+    }
+
+    /// The task window (not including the margin).
+    #[inline]
+    pub fn window(&self) -> Aabb {
+        self.window
+    }
+
+    /// Number of nodes inside the task window.
+    #[inline]
+    pub fn window_node_count(&self) -> usize {
+        self.window_locals.len()
+    }
+
+    /// Draws a random multicast task (region-local ids) whose source and
+    /// `k` destinations all lie inside the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window holds fewer than `k + 1` nodes.
+    pub fn random_task(&self, k: usize, seed: u64) -> MulticastTask {
+        MulticastTask::random_among(&self.window_locals, k, seed)
+    }
+
+    /// A [`TaskRunner`] over the materialized region.
+    pub fn runner<'a>(&'a self, config: &'a SimConfig) -> TaskRunner<'a> {
+        TaskRunner::new(&self.view.topology, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{MulticastPacket, RoutingState};
+    use crate::protocol::{Forward, NodeContext, Protocol};
+    use crate::runner::SimScratch;
+    use gmp_net::ShardConfig;
+
+    /// Greedy unicast toward each destination — enough to exercise the
+    /// region runner on a dense deployment without pulling in `gmp-core`
+    /// (which depends on this crate).
+    struct Greedy;
+    impl Protocol for Greedy {
+        fn name(&self) -> String {
+            "greedy".into()
+        }
+        fn on_packet(
+            &mut self,
+            ctx: &NodeContext<'_>,
+            packet: MulticastPacket,
+            out: &mut Vec<Forward>,
+        ) {
+            out.extend(packet.dests.iter().filter_map(|&d| {
+                let target = ctx.pos_of(d);
+                let here = ctx.pos().dist(target);
+                ctx.neighbors()
+                    .iter()
+                    .copied()
+                    .filter(|&n| ctx.pos_of(n).dist(target) < here)
+                    .min_by(|&a, &b| {
+                        ctx.pos_of(a)
+                            .dist(target)
+                            .total_cmp(&ctx.pos_of(b).dist(target))
+                    })
+                    .map(|n| Forward {
+                        next_hop: n,
+                        packet: packet.split(vec![d], RoutingState::Greedy),
+                    })
+            }));
+        }
+    }
+
+    fn substrate(n: usize) -> ShardedTopology {
+        ShardedTopology::new(ShardConfig::paper_density(n, 150.0), 17)
+    }
+
+    #[test]
+    fn window_tasks_stay_inside_window() {
+        let st = substrate(10_000);
+        let side = st.area().width();
+        let window = Aabb::new(
+            Point::new(side * 0.3, side * 0.3),
+            Point::new(side * 0.3 + 1000.0, side * 0.3 + 1000.0),
+        );
+        let sim = RegionSim::new(&st, window, 300.0);
+        assert!(sim.window_node_count() > 500, "paper density ≈ 1000/km²");
+        let task = sim.random_task(10, 5);
+        assert!(window.contains(sim.topology().pos(task.source)));
+        for &d in &task.dests {
+            assert!(window.contains(sim.topology().pos(d)));
+        }
+    }
+
+    #[test]
+    fn region_runs_paper_style_tasks_without_full_network() {
+        let st = substrate(100_000);
+        let side = st.area().width();
+        let window = Aabb::new(
+            Point::new(side * 0.5, side * 0.5),
+            Point::new(side * 0.5 + 1000.0, side * 0.5 + 1000.0),
+        );
+        let sim = RegionSim::new(&st, window, 300.0);
+        assert!(
+            sim.topology().len() < st.len() / 5,
+            "region must be a small fraction of the network"
+        );
+        let config = SimConfig::paper();
+        let runner = sim.runner(&config);
+        let mut scratch = SimScratch::new();
+        let mut delivered = 0usize;
+        for t in 0..5 {
+            let task = sim.random_task(10, 1000 + t);
+            let mut proto = Greedy;
+            let report = runner.run_with_scratch(&mut proto, &task, t, &mut scratch);
+            if report.delivered_all() {
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= 4, "window tasks should mostly deliver");
+    }
+
+    #[test]
+    fn margin_is_clamped_to_area() {
+        let st = substrate(1000);
+        let sim = RegionSim::new(&st, st.area(), 1e9);
+        assert_eq!(sim.topology().len(), st.len());
+        assert_eq!(sim.window_node_count(), st.len());
+    }
+}

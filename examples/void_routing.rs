@@ -34,7 +34,6 @@ fn main() {
     // Source on the west edge, destinations on the far side of the hole.
     let near = |p: Point| {
         topo.nodes()
-            .iter()
             .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
             .expect("non-empty topology")
             .id
