@@ -39,6 +39,11 @@
 //! `scale` runs the million-node scale curve over the sharded lazy
 //! substrate and writes `BENCH_4.json` (per-task throughput, build time,
 //! and peak RSS at 1k/10k/100k/1M nodes; `--quick` stops at 10k).
+//!
+//! `service` runs the concurrent session engine (`gmp-service`) against
+//! back-to-back sequential runs of the identical session set and writes
+//! `BENCH_5.json` (sessions/s, decisions/s, p50/p99 session latency under
+//! churn; `--quick` runs the paper topology at 1k sessions).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
@@ -717,6 +722,9 @@ fn run_bench(args: &Args) {
     let cache_misses = end_stats.misses - warm_stats.misses;
     let cache_fallbacks = end_stats.fallbacks - warm_stats.fallbacks;
     let cache_evictions = end_stats.evictions - warm_stats.evictions;
+    let cache_epoch_flushes = end_stats.epoch_flushes - warm_stats.epoch_flushes;
+    let cache_pool_reused = end_stats.pool_reused - warm_stats.pool_reused;
+    let cache_entries_live = end_stats.entries_live;
     let cache_hit_rate = cache_hits as f64 / decisions as f64;
 
     // End-to-end task throughput: the whole simulator loop (routing at
@@ -737,9 +745,9 @@ fn run_bench(args: &Args) {
     assert!(delivered > 0, "task workload delivered nothing");
 
     let wall_clock_s = wall_start.elapsed().as_secs_f64();
-    let peak_rss = gmp_bench::rss::json_opt_u64(gmp_bench::peak_rss_bytes());
+    let peak_rss_fields = gmp_bench::rss::peak_rss_json_fields();
     let json = format!(
-        "{{\n  \"schema\": \"gmp-bench/1\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k_values\": [5, 15, 25],\n    \"decision_samples\": {decisions},\n    \"task_samples\": {task_count}\n  }},\n  \"decisions_per_sec\": {decisions_per_sec:.1},\n  \"tasks_per_sec\": {tasks_per_sec:.1},\n  \"wall_clock_s\": {wall_clock_s:.3},\n  \"allocs_per_decision\": {allocs_per_decision:.4},\n  \"peak_rss_bytes\": {peak_rss},\n  \"decision_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"fallbacks\": {cache_fallbacks},\n    \"evictions\": {cache_evictions},\n    \"hit_rate\": {cache_hit_rate:.4}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"gmp-bench/1\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k_values\": [5, 15, 25],\n    \"decision_samples\": {decisions},\n    \"task_samples\": {task_count}\n  }},\n  \"decisions_per_sec\": {decisions_per_sec:.1},\n  \"tasks_per_sec\": {tasks_per_sec:.1},\n  \"wall_clock_s\": {wall_clock_s:.3},\n  \"allocs_per_decision\": {allocs_per_decision:.4},\n  {peak_rss_fields},\n  \"decision_cache\": {{\n    \"hits\": {cache_hits},\n    \"misses\": {cache_misses},\n    \"fallbacks\": {cache_fallbacks},\n    \"evictions\": {cache_evictions},\n    \"epoch_flushes\": {cache_epoch_flushes},\n    \"entries_live\": {cache_entries_live},\n    \"pool_reused\": {cache_pool_reused},\n    \"hit_rate\": {cache_hit_rate:.4}\n  }}\n}}\n",
         config.node_count,
     );
     print!("{json}");
@@ -824,18 +832,21 @@ fn run_bench2(args: &Args) {
     let [off, on] = measured;
     let cache_json = |s: gmp_core::CacheStats| {
         format!(
-            "{{ \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"evictions\": {}, \"hit_rate\": {:.4} }}",
+            "{{ \"hits\": {}, \"misses\": {}, \"fallbacks\": {}, \"evictions\": {}, \"epoch_flushes\": {}, \"entries_live\": {}, \"pool_reused\": {}, \"hit_rate\": {:.4} }}",
             s.hits,
             s.misses,
             s.fallbacks,
             s.evictions,
+            s.epoch_flushes,
+            s.entries_live,
+            s.pool_reused,
             s.hit_rate()
         )
     };
 
-    let peak_rss = gmp_bench::rss::json_opt_u64(gmp_bench::peak_rss_bytes());
+    let peak_rss_fields = gmp_bench::rss::peak_rss_json_fields();
     let json = format!(
-        "{{\n  \"schema\": \"gmp-bench/2\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k\": 25,\n    \"tasks\": {task_count},\n    \"collision_config\": {{ \"tx_jitter_s\": 0.005, \"max_retransmissions\": 7 }},\n    \"window_s\": {window_s:.1}\n  }},\n  \"collisions_off_tasks_per_sec\": {off:.1},\n  \"collisions_on_tasks_per_sec\": {on:.1},\n  \"seed_baseline\": {{\n    \"collisions_off_tasks_per_sec\": {seed_baseline_off:.1},\n    \"collisions_on_tasks_per_sec\": {seed_baseline_on:.1}\n  }},\n  \"speedup_collisions_off\": {:.3},\n  \"speedup_collisions_on\": {:.3},\n  \"peak_rss_bytes\": {peak_rss},\n  \"decision_cache\": {{\n    \"collisions_off\": {},\n    \"collisions_on\": {}\n  }}\n}}\n",
+        "{{\n  \"schema\": \"gmp-bench/2\",\n  \"workload\": {{\n    \"nodes\": {},\n    \"topology_seed\": 1,\n    \"k\": 25,\n    \"tasks\": {task_count},\n    \"collision_config\": {{ \"tx_jitter_s\": 0.005, \"max_retransmissions\": 7 }},\n    \"window_s\": {window_s:.1}\n  }},\n  \"collisions_off_tasks_per_sec\": {off:.1},\n  \"collisions_on_tasks_per_sec\": {on:.1},\n  \"seed_baseline\": {{\n    \"collisions_off_tasks_per_sec\": {seed_baseline_off:.1},\n    \"collisions_on_tasks_per_sec\": {seed_baseline_on:.1}\n  }},\n  \"speedup_collisions_off\": {:.3},\n  \"speedup_collisions_on\": {:.3},\n  {peak_rss_fields},\n  \"decision_cache\": {{\n    \"collisions_off\": {},\n    \"collisions_on\": {}\n  }}\n}}\n",
         base.node_count,
         off / seed_baseline_off,
         on / seed_baseline_on,
@@ -958,11 +969,142 @@ fn run_scale(args: &Args) {
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str(&format!(
+        "  ],\n  {}\n}}\n",
+        gmp_bench::rss::peak_rss_json_fields()
+    ));
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("warning: could not create {}: {e}", args.out.display());
     }
     let path = args.out.join("BENCH_4.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// The concurrent-service benchmark behind `BENCH_5.json`: sustained
+/// multicast session throughput under churn through the `gmp-service`
+/// engine, against back-to-back sequential runs of the identical session
+/// set (the ≥2x headline gate). `--quick` runs the paper topology at 1k
+/// sessions (the CI smoke gate); the full run adds 10k sessions and the
+/// sharded 100k-node substrate. Run it from a `--release` build.
+fn run_service(args: &Args) {
+    use gmp_bench::service::{paper_service_point, sharded_service_point, ServicePoint};
+
+    let quick = args.scale == Scale::quick();
+    let alloc_counter = || ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    let mut points: Vec<ServicePoint> = Vec::new();
+    eprintln!("service: paper topology, 1000 sessions…");
+    points.push(paper_service_point(1_000, 42, Some(&alloc_counter)));
+    if !quick {
+        eprintln!("service: paper topology, 10000 sessions…");
+        points.push(paper_service_point(10_000, 43, Some(&alloc_counter)));
+        eprintln!("service: sharded 100k substrate, 1000 sessions over 4 windows…");
+        points.push(sharded_service_point(100_000, 4, 1_000, 44));
+        eprintln!("service: sharded 100k substrate, 10000 sessions over 8 windows…");
+        points.push(sharded_service_point(100_000, 8, 10_000, 45));
+    }
+    eprintln!(
+        "service bench finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+
+    let mut table = vec![vec![
+        "topology".to_string(),
+        "sessions".to_string(),
+        "seq/s".to_string(),
+        "conc/s".to_string(),
+        "speedup".to_string(),
+        "par/s".to_string(),
+        "p50 ms".to_string(),
+        "p99 ms".to_string(),
+        "decisions/s".to_string(),
+        "match".to_string(),
+    ]];
+    for p in &points {
+        table.push(vec![
+            p.topology.clone(),
+            p.sessions.to_string(),
+            format!("{:.0}", p.sequential_sessions_per_sec),
+            format!("{:.0}", p.concurrent_sessions_per_sec),
+            format!("{:.2}x", p.speedup),
+            format!("{:.0}", p.parallel_sessions_per_sec),
+            format!("{:.3}", p.p50_latency_ms),
+            format!("{:.3}", p.p99_latency_ms),
+            format!("{:.0}", p.decisions_per_sec),
+            p.reports_match.to_string(),
+        ]);
+    }
+    println!(
+        "\nConcurrent session service — throughput under churn vs sequential baseline\n{}",
+        render_table(&table)
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"gmp-bench/5\",\n");
+    json.push_str(
+        "  \"note\": \"sequential baseline = back-to-back self-contained runs of the identical \
+         session set (fresh protocol + scratch per session); latency is wall-clock admission to \
+         completion of the as-fast-as-possible engine loop; reports_match certifies every \
+         concurrent and parallel session report bit-identical to its sequential twin\",\n",
+    );
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"topology\": \"{}\", \"nodes\": {}, \"sessions\": {}, \"groups\": {}, \
+             \"membership_updates\": {}, \"fault_crashes\": {}, \"skipped_empty\": {}, \
+             \"sequential_wall_s\": {}, \"sequential_sessions_per_sec\": {}, \
+             \"concurrent_wall_s\": {}, \"concurrent_sessions_per_sec\": {}, \
+             \"decisions_per_sec\": {}, \"p50_latency_ms\": {}, \"p99_latency_ms\": {}, \
+             \"parallel_batches\": {}, \"parallel_wall_s\": {}, \"parallel_sessions_per_sec\": {}, \
+             \"speedup\": {}, \"allocs_per_session\": {}, \"steady_alloc_drift\": {}, \
+             \"reports_match\": {}, \"decision_cache\": {{ \"hits\": {}, \"misses\": {}, \
+             \"fallbacks\": {}, \"evictions\": {}, \"epoch_flushes\": {}, \"entries_live\": {}, \
+             \"pool_reused\": {}, \"hit_rate\": {:.4} }} }}{}\n",
+            p.topology,
+            p.nodes,
+            p.sessions,
+            p.groups,
+            p.membership_updates,
+            p.fault_crashes,
+            p.skipped_empty,
+            json_f64(p.sequential_wall_s),
+            json_f64(p.sequential_sessions_per_sec),
+            json_f64(p.concurrent_wall_s),
+            json_f64(p.concurrent_sessions_per_sec),
+            json_f64(p.decisions_per_sec),
+            json_f64(p.p50_latency_ms),
+            json_f64(p.p99_latency_ms),
+            p.parallel_batches,
+            json_f64(p.parallel_wall_s),
+            json_f64(p.parallel_sessions_per_sec),
+            json_f64(p.speedup),
+            p.allocs_per_session.map_or_else(|| "null".into(), json_f64),
+            p.steady_alloc_drift
+                .map_or_else(|| "null".to_string(), |d| d.to_string()),
+            p.reports_match,
+            p.cache.hits,
+            p.cache.misses,
+            p.cache.fallbacks,
+            p.cache.evictions,
+            p.cache.epoch_flushes,
+            p.cache.entries_live,
+            p.cache.pool_reused,
+            p.cache.hit_rate(),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  {}\n}}\n",
+        gmp_bench::rss::peak_rss_json_fields()
+    ));
+    print!("{json}");
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("warning: could not create {}: {e}", args.out.display());
+    }
+    let path = args.out.join("BENCH_5.json");
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
@@ -1091,8 +1233,8 @@ fn run_campaign(args: &Args) {
         ));
     }
     json.push_str(&format!(
-        "  ],\n  \"peak_rss_bytes\": {}\n}}\n",
-        gmp_bench::rss::json_opt_u64(gmp_bench::peak_rss_bytes())
+        "  ],\n  {}\n}}\n",
+        gmp_bench::rss::peak_rss_json_fields()
     ));
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("warning: could not create {}: {e}", args.out.display());
@@ -1110,7 +1252,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|bench|scale|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax|campaign> \
+                "usage: experiments <all|bench|scale|service|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax|campaign> \
                  [--quick|--standard|--paper] [--threads N] [--out DIR]"
             );
             return ExitCode::FAILURE;
@@ -1151,6 +1293,7 @@ fn main() -> ExitCode {
         "treelen" => run_treelen(&args),
         "bench" => run_bench(&args),
         "scale" => run_scale(&args),
+        "service" => run_service(&args),
         other => {
             eprintln!("unknown command: {other}");
             return ExitCode::FAILURE;

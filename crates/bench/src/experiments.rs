@@ -110,7 +110,7 @@ pub fn set_worker_threads(n: usize) {
 /// Simple work-stealing parallel map preserving input order. Workers
 /// stream `(index, result)` pairs over a channel; the caller thread
 /// assembles them, so no worker ever blocks on a shared results lock.
-pub(crate) fn parallel_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
+pub fn parallel_map<J, R, F>(jobs: Vec<J>, f: F) -> Vec<R>
 where
     J: Send + Sync,
     R: Send,

@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod protocols;
 pub mod rss;
 pub mod scale;
+pub mod service;
 pub mod table;
 
 pub use campaign::{robustness_campaign, CampaignRow};
@@ -36,6 +37,7 @@ pub use experiments::{
 pub use protocols::ProtocolKind;
 pub use rss::peak_rss_bytes;
 pub use scale::{scale_curve, ScalePoint};
+pub use service::{paper_service_point, sharded_service_point, ServicePoint};
 pub use table::{render_table, write_csv};
 
 /// Planar-kind constants shared with the ablation (kept out of the public

@@ -34,6 +34,33 @@ pub fn json_opt_u64(v: Option<u64>) -> String {
     v.map_or_else(|| "null".into(), |b| b.to_string())
 }
 
+/// Renders the peak-RSS fields every `BENCH_*.json` emitter embeds:
+/// `"peak_rss_bytes"` plus, when the value is unavailable, a
+/// `"peak_rss_note"` naming why (`VmHWM` is Linux-only, so off-Linux runs
+/// record an explicit `null` with the platform spelled out rather than a
+/// silently absent metric).
+pub fn peak_rss_json_fields() -> String {
+    render_peak_rss_fields(
+        peak_rss_bytes(),
+        cfg!(target_os = "linux"),
+        std::env::consts::OS,
+    )
+}
+
+/// Testable core of [`peak_rss_json_fields`].
+fn render_peak_rss_fields(peak: Option<u64>, is_linux: bool, os: &str) -> String {
+    match peak {
+        Some(bytes) => format!("\"peak_rss_bytes\": {bytes}"),
+        None if is_linux => "\"peak_rss_bytes\": null,\n  \"peak_rss_note\": \
+                             \"VmHWM missing from /proc/self/status\""
+            .into(),
+        None => format!(
+            "\"peak_rss_bytes\": null,\n  \"peak_rss_note\": \
+             \"unavailable on {os}: VmHWM requires linux /proc\""
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,5 +92,40 @@ mod tests {
     fn json_formatting() {
         assert_eq!(json_opt_u64(None), "null");
         assert_eq!(json_opt_u64(Some(42)), "42");
+    }
+
+    #[test]
+    fn present_peak_renders_a_bare_number_field() {
+        assert_eq!(
+            render_peak_rss_fields(Some(2048), true, "linux"),
+            "\"peak_rss_bytes\": 2048"
+        );
+    }
+
+    #[test]
+    fn non_linux_records_explicit_null_with_platform_note() {
+        let fields = render_peak_rss_fields(None, false, "macos");
+        assert!(fields.starts_with("\"peak_rss_bytes\": null"));
+        assert!(
+            fields.contains("unavailable on macos: VmHWM requires linux /proc"),
+            "platform note must name the OS: {fields}"
+        );
+    }
+
+    #[test]
+    fn linux_without_vmhwm_notes_the_missing_proc_line() {
+        let fields = render_peak_rss_fields(None, true, "linux");
+        assert!(fields.starts_with("\"peak_rss_bytes\": null"));
+        assert!(fields.contains("VmHWM missing from /proc/self/status"));
+    }
+
+    #[test]
+    fn emitter_fields_are_valid_json_fragments() {
+        // Whatever platform the tests run on, the rendered fragment must
+        // embed into `{ ... }` as valid JSON.
+        let json = format!("{{\n  {}\n}}\n", peak_rss_json_fields());
+        assert!(json.contains("\"peak_rss_bytes\""));
+        let colons = json.matches(':').count();
+        assert!(colons == 1 || colons == 2);
     }
 }

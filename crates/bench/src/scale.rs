@@ -84,7 +84,7 @@ pub struct ScalePoint {
 /// Deterministic low-discrepancy window origin: the `w`-th window of a
 /// deployment, spread over the area by a golden-ratio sequence so windows
 /// neither overlap systematically nor cluster at any scale.
-fn window_at(area_side: f64, w: usize) -> Aabb {
+pub(crate) fn window_at(area_side: f64, w: usize) -> Aabb {
     const PHI: f64 = 0.618_033_988_749_894_9;
     let side = WINDOW_SIDE.min(area_side);
     let span = area_side - side;

@@ -1,0 +1,139 @@
+//! Session-level determinism of the concurrent engine: with a fixed seed,
+//! every session's [`TaskReport`] must be **bit-identical** to running
+//! that session alone.
+//!
+//! The harness generates a random service workload (groups, live
+//! membership churn, crash-derived leaves, session arrivals), runs it
+//! through [`gmp_service::SessionEngine`] — interleaved over one shared
+//! topology, shared decision cache, pooled scratch — and then replays
+//! every completed session solo through [`TaskRunner::run_seeded`] with a
+//! fresh protocol instance. Any divergence means engine interleaving
+//! leaked state between sessions. The sweep crosses topology seeds,
+//! admission capacities, fault/churn plans, and the protocol sharing
+//! modes (GMP and LGS shared, SMT per-session — SMT keeps per-task state,
+//! which is exactly what `EngineProtocol::PerSession` exists for).
+//!
+//! This suite rides next to `sim_parity` and `cache_parity` in CI: all
+//! three pin the bit-exactness contracts the benches' speedups rely on.
+
+use gmp_baselines::{LgsRouter, SmtRouter};
+use gmp_core::GmpRouter;
+use gmp_net::{NodeId, Topology};
+use gmp_service::{EngineProtocol, ServiceConfig, ServiceWorkload, SessionEngine, WorkloadParams};
+use gmp_sim::{FaultPlan, Protocol, SimConfig, TaskRunner};
+use proptest::prelude::*;
+
+/// A fresh-protocol-instance constructor.
+type ProtocolFactory = fn() -> Box<dyn Protocol>;
+
+/// The protocol modes under test: name, whether the engine may share one
+/// instance across sessions, and a fresh-instance factory.
+fn factory(mode: usize) -> (&'static str, bool, ProtocolFactory) {
+    match mode {
+        0 => ("gmp", true, || Box::new(GmpRouter::new())),
+        1 => ("lgs", true, || Box::new(LgsRouter::new())),
+        _ => ("smt", false, || Box::new(SmtRouter::new())),
+    }
+}
+
+/// A fault/churn plan family over the candidate pool.
+fn plan_for(variant: usize, candidates: &[NodeId]) -> FaultPlan {
+    match variant {
+        0 => FaultPlan::none(),
+        1 => {
+            // Timed crashes at session-local t = 0 on a node stride.
+            let mut plan = FaultPlan::none();
+            for &node in candidates.iter().step_by(37).take(8) {
+                plan = plan.with_crash(node, 0.0);
+            }
+            plan
+        }
+        _ => {
+            // Mid-task crashes: liveness flips while packets are in
+            // flight (~1 ms airtimes), exercising FaultScratch sharing.
+            let mut plan = FaultPlan::none();
+            for (i, &node) in candidates.iter().step_by(53).take(6).enumerate() {
+                plan = plan.with_crash(node, 0.001 * (i + 1) as f64);
+            }
+            plan
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_concurrent_session_matches_its_solo_run(
+        topo_seed in 0u64..6,
+        workload_seed in 0u64..u64::MAX,
+        mode in 0usize..3,
+        plan_variant in 0usize..3,
+        capacity in 1usize..48,
+    ) {
+        let base = SimConfig::paper().with_node_count(300);
+        let topo = Topology::random(&base.topology_config(), topo_seed);
+        let candidates: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
+        let plan = plan_for(plan_variant, &candidates);
+        let config = base.with_faults(plan.clone());
+
+        let params = WorkloadParams {
+            groups: 6,
+            members_per_group: 7,
+            churn_updates: 40,
+            sessions: 36,
+            duration_s: 20.0,
+            min_members: 2,
+            max_members: 14,
+            crash_detect_s: 10.0,
+        };
+        let workload = ServiceWorkload::random(&candidates, &params, &plan, workload_seed);
+
+        let (name, shared, fresh) = factory(mode);
+        let mut engine = SessionEngine::with_service(
+            &topo,
+            &config,
+            ServiceConfig { max_in_flight: capacity },
+        );
+        let run = if shared {
+            let mut protocol = fresh();
+            engine.run(EngineProtocol::Shared(protocol.as_mut()), &workload)
+        } else {
+            let mut make = fresh;
+            let mut boxed_factory = move || make();
+            engine.run(EngineProtocol::PerSession(&mut boxed_factory), &workload)
+        };
+        prop_assert!(!run.outcomes.is_empty(), "workload produced no sessions");
+        prop_assert_eq!(
+            run.outcomes.len() + run.skipped_empty,
+            workload.sessions.len()
+        );
+
+        // Solo replay: a fresh protocol and runner per session — any
+        // difference is state leaked through the engine's sharing.
+        let runner = TaskRunner::new(&topo, &config);
+        for outcome in &run.outcomes {
+            let mut solo = fresh();
+            let report = runner.run_seeded(solo.as_mut(), &outcome.task, outcome.seed);
+            prop_assert_eq!(
+                &outcome.report,
+                &report,
+                "{} session {} (capacity {}, plan {}) diverged from solo",
+                name,
+                outcome.id,
+                capacity,
+                plan_variant
+            );
+        }
+
+        // And the snapshot the engine took matches the engine-independent
+        // resolution of the same workload.
+        let resolved = workload.resolve_tasks();
+        for outcome in &run.outcomes {
+            prop_assert_eq!(
+                Some(&outcome.task),
+                resolved[outcome.id as usize].as_ref()
+            );
+        }
+    }
+}

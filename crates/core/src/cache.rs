@@ -77,27 +77,49 @@ impl Default for CacheConfig {
 impl CacheConfig {
     /// The defaults with any `GMP_CACHE_CAPACITY` / `GMP_CACHE_QUANTUM` /
     /// `GMP_CACHE_PARANOID` environment overrides applied. Unparsable or
-    /// out-of-range values fall back to the defaults.
+    /// out-of-range values fall back to the defaults with a warning on
+    /// stderr — never a panic.
     pub fn from_env() -> Self {
-        let mut config = CacheConfig::default();
-        if let Some(cap) = std::env::var("GMP_CACHE_CAPACITY")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&c| c > 0)
-        {
-            config.capacity = cap;
-        }
-        if let Some(q) = std::env::var("GMP_CACHE_QUANTUM")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .filter(|q| q.is_finite() && *q > 0.0)
-        {
-            config.quantum = q;
-        }
-        if let Some(v) = std::env::var_os("GMP_CACHE_PARANOID") {
-            config.paranoid = v != "0";
+        let (config, warnings) = CacheConfig::from_lookup(|key| std::env::var(key).ok());
+        for w in &warnings {
+            eprintln!("warning: {w}");
         }
         config
+    }
+
+    /// [`CacheConfig::from_env`] with the variable source injected, so the
+    /// malformed-input paths are testable without mutating the process
+    /// environment. Returns the resolved configuration plus one warning
+    /// message per rejected value.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> (Self, Vec<String>) {
+        let mut config = CacheConfig::default();
+        let mut warnings = Vec::new();
+        if let Some(raw) = lookup("GMP_CACHE_CAPACITY") {
+            match raw.parse::<usize>() {
+                Ok(cap) if cap > 0 => config.capacity = cap,
+                _ => warnings.push(format!(
+                    "GMP_CACHE_CAPACITY={raw:?} is not a positive integer; \
+                     using default {}",
+                    config.capacity
+                )),
+            }
+        }
+        if let Some(raw) = lookup("GMP_CACHE_QUANTUM") {
+            match raw.parse::<f64>() {
+                Ok(q) if q.is_finite() && q > 0.0 => config.quantum = q,
+                _ => warnings.push(format!(
+                    "GMP_CACHE_QUANTUM={raw:?} is not a positive finite number; \
+                     using default {}",
+                    config.quantum
+                )),
+            }
+        }
+        // Any value but "0" enables paranoid mode — no malformed case, by
+        // construction.
+        if let Some(raw) = lookup("GMP_CACHE_PARANOID") {
+            config.paranoid = raw != "0";
+        }
+        (config, warnings)
     }
 }
 
@@ -115,6 +137,14 @@ pub struct CacheStats {
     pub fallbacks: u64,
     /// Entries discarded by capacity epoch flushes.
     pub evictions: u64,
+    /// Capacity epoch flushes performed (each discards every entry).
+    pub epoch_flushes: u64,
+    /// Decisions currently stored — an occupancy snapshot taken by
+    /// [`TreeCache::stats`], not a running counter.
+    pub entries_live: u64,
+    /// Inserts that recycled a flushed entry (and its vectors) from the
+    /// free list instead of allocating a fresh one.
+    pub pool_reused: u64,
 }
 
 impl CacheStats {
@@ -270,9 +300,13 @@ impl TreeCache {
         self.config
     }
 
-    /// Behaviour counters since construction (flushes don't reset them).
+    /// Behaviour counters since construction (flushes don't reset them),
+    /// with the live-occupancy snapshot filled in.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            entries_live: self.entries.len() as u64,
+            ..self.stats
+        }
     }
 
     /// Number of currently stored decisions.
@@ -378,10 +412,17 @@ impl TreeCache {
             // bookkeeping on every lookup; the benches' working sets fit
             // the default capacity comfortably (see DESIGN.md).
             self.stats.evictions += self.entries.len() as u64;
+            self.stats.epoch_flushes += 1;
             self.map.clear();
             self.free.append(&mut self.entries);
         }
-        let mut entry = self.free.pop().unwrap_or_default();
+        let mut entry = match self.free.pop() {
+            Some(recycled) => {
+                self.stats.pool_reused += 1;
+                recycled
+            }
+            None => CacheEntry::default(),
+        };
         fill_entry(
             &mut entry,
             &mut self.pool,
@@ -665,7 +706,16 @@ mod tests {
             }
         }
         assert!(cache.len() <= 4);
-        assert!(cache.stats().evictions > 0);
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        // Occupancy and flush accounting: every flush dropped a full
+        // capacity's worth of entries, the snapshot matches len(), and
+        // post-flush refills recycled pooled entries instead of
+        // allocating fresh ones.
+        assert!(stats.epoch_flushes > 0);
+        assert_eq!(stats.evictions, stats.epoch_flushes * 4);
+        assert_eq!(stats.entries_live, cache.len() as u64);
+        assert!(stats.pool_reused > 0);
     }
 
     #[test]
@@ -692,5 +742,71 @@ mod tests {
         let config = CacheConfig::from_env();
         assert!(config.capacity > 0);
         assert!(config.quantum > 0.0);
+    }
+
+    /// A lookup table standing in for the process environment.
+    fn lookup_from<'a>(pairs: &'a [(&'a str, &'a str)]) -> impl Fn(&str) -> Option<String> + 'a {
+        move |key| {
+            pairs
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.to_string())
+        }
+    }
+
+    #[test]
+    fn malformed_env_values_fall_back_to_defaults_with_warnings() {
+        let defaults = CacheConfig::default();
+        for bad in ["banana", "0", "-3", "1.5", ""] {
+            let (config, warnings) =
+                CacheConfig::from_lookup(lookup_from(&[("GMP_CACHE_CAPACITY", bad)]));
+            assert_eq!(config, defaults, "capacity {bad:?}");
+            assert_eq!(warnings.len(), 1, "capacity {bad:?}");
+            assert!(warnings[0].contains("GMP_CACHE_CAPACITY"), "{warnings:?}");
+        }
+        for bad in ["banana", "0", "-1e-3", "NaN", "inf", ""] {
+            let (config, warnings) =
+                CacheConfig::from_lookup(lookup_from(&[("GMP_CACHE_QUANTUM", bad)]));
+            assert_eq!(config, defaults, "quantum {bad:?}");
+            assert_eq!(warnings.len(), 1, "quantum {bad:?}");
+            assert!(warnings[0].contains("GMP_CACHE_QUANTUM"), "{warnings:?}");
+        }
+        // Both malformed at once: both defaults survive, both warned.
+        let (config, warnings) = CacheConfig::from_lookup(lookup_from(&[
+            ("GMP_CACHE_CAPACITY", "lots"),
+            ("GMP_CACHE_QUANTUM", "tiny"),
+        ]));
+        assert_eq!(config, defaults);
+        assert_eq!(warnings.len(), 2);
+    }
+
+    #[test]
+    fn valid_env_values_apply_without_warnings() {
+        let (config, warnings) = CacheConfig::from_lookup(lookup_from(&[
+            ("GMP_CACHE_CAPACITY", "1024"),
+            ("GMP_CACHE_QUANTUM", "0.5"),
+            ("GMP_CACHE_PARANOID", "1"),
+        ]));
+        assert_eq!(config.capacity, 1024);
+        assert_eq!(config.quantum, 0.5);
+        assert!(config.paranoid);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn paranoid_accepts_any_value_but_zero() {
+        for (value, expect) in [("0", false), ("1", true), ("yes", true), ("", true)] {
+            let (config, warnings) =
+                CacheConfig::from_lookup(lookup_from(&[("GMP_CACHE_PARANOID", value)]));
+            assert_eq!(config.paranoid, expect, "paranoid {value:?}");
+            assert!(warnings.is_empty());
+        }
+    }
+
+    #[test]
+    fn absent_env_yields_defaults_silently() {
+        let (config, warnings) = CacheConfig::from_lookup(|_| None);
+        assert_eq!(config, CacheConfig::default());
+        assert!(warnings.is_empty());
     }
 }

@@ -25,5 +25,7 @@
 pub mod manager;
 pub mod trace;
 
-pub use manager::{ControlCost, GroupId, GroupManager, MembershipAction, MembershipUpdate};
+pub use manager::{
+    ControlCost, GroupId, GroupManager, MembershipAction, MembershipSet, MembershipUpdate,
+};
 pub use trace::MembershipTrace;

@@ -51,10 +51,81 @@ pub struct ControlCost {
     pub undeliverable: usize,
 }
 
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct MemberRecord {
     present: bool,
     last_seq: u64,
+}
+
+/// One group's membership, replicated purely from seq-ordered
+/// [`MembershipUpdate`]s.
+///
+/// This is the convergence anchor the live churn stream leans on: each
+/// member's updates carry strictly increasing sequence numbers, an update
+/// is accepted only when its `seq` exceeds the member's last accepted one,
+/// and so the final state of every member is the action of its
+/// highest-numbered update — *regardless of delivery order*, and with
+/// stale or duplicated deliveries rejected as no-ops. Any interleaving of
+/// the same updates converges to the same set (pinned by the
+/// `membership_convergence` proptest).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MembershipSet {
+    records: BTreeMap<NodeId, MemberRecord>,
+}
+
+impl MembershipSet {
+    /// An empty membership set.
+    pub fn new() -> Self {
+        MembershipSet::default()
+    }
+
+    /// Applies one update; returns `true` if it was fresh (accepted),
+    /// `false` for a stale or duplicate delivery (state unchanged).
+    ///
+    /// `seq = 0` is reserved as "never seen": member streams must number
+    /// their updates from 1.
+    pub fn apply(&mut self, node: NodeId, action: MembershipAction, seq: u64) -> bool {
+        let record = self.records.entry(node).or_default();
+        if seq <= record.last_seq && record.last_seq != 0 {
+            return false; // stale or duplicate
+        }
+        record.last_seq = seq;
+        record.present = matches!(action, MembershipAction::Join);
+        true
+    }
+
+    /// `true` if `node` is currently a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.records.get(&node).is_some_and(|r| r.present)
+    }
+
+    /// Number of current members.
+    pub fn len(&self) -> usize {
+        self.records.values().filter(|r| r.present).count()
+    }
+
+    /// `true` when no node is currently a member.
+    pub fn is_empty(&self) -> bool {
+        !self.records.values().any(|r| r.present)
+    }
+
+    /// Appends the current members to `out` in ascending id order
+    /// (allocation-free when `out` has capacity).
+    pub fn members_into(&self, out: &mut Vec<NodeId>) {
+        out.extend(
+            self.records
+                .iter()
+                .filter(|(_, r)| r.present)
+                .map(|(&n, _)| n),
+        );
+    }
+
+    /// The current members, sorted ascending.
+    pub fn members(&self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.members_into(&mut out);
+        out
+    }
 }
 
 /// The membership service hosted at the prime node.
@@ -63,7 +134,7 @@ pub struct GroupManager<'a> {
     topo: &'a Topology,
     config: &'a SimConfig,
     prime: NodeId,
-    groups: BTreeMap<GroupId, BTreeMap<NodeId, MemberRecord>>,
+    groups: BTreeMap<GroupId, MembershipSet>,
     cost: ControlCost,
 }
 
@@ -124,30 +195,17 @@ impl<'a> GroupManager<'a> {
                 }
             }
         }
-        let record = self
-            .groups
+        self.groups
             .entry(update.group)
             .or_default()
-            .entry(update.node)
-            .or_default();
-        if update.seq <= record.last_seq && record.last_seq != 0 {
-            return false; // stale or duplicate
-        }
-        record.last_seq = update.seq;
-        record.present = matches!(update.action, MembershipAction::Join);
-        true
+            .apply(update.node, update.action, update.seq)
     }
 
     /// Current members of `group`, sorted (empty for unknown groups).
     pub fn members(&self, group: GroupId) -> Vec<NodeId> {
         self.groups
             .get(&group)
-            .map(|m| {
-                m.iter()
-                    .filter(|(_, r)| r.present)
-                    .map(|(&n, _)| n)
-                    .collect()
-            })
+            .map(MembershipSet::members)
             .unwrap_or_default()
     }
 

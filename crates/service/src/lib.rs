@@ -1,0 +1,171 @@
+//! Concurrent multicast session service for the GMP reproduction.
+//!
+//! The paper's protocol is per-hop stateless: every forwarder rebuilds
+//! its virtual Steiner tree from the packet alone, so a long-lived
+//! multicast *service* — thousands of overlapping sessions against the
+//! same deployment — needs no per-session router state at all. This
+//! crate exploits that: a [`SessionEngine`] drives N in-flight sessions
+//! interleaved over one shared [`gmp_net::Topology`], sharing the
+//! decision cache and pooled scratch state across sessions, with group
+//! membership arriving as a live seq-ordered [`gmp_groups`] update
+//! stream (wired to `gmp-faults` crash events by
+//! [`ServiceWorkload::random`]).
+//!
+//! Determinism is load-bearing: each session's report is bit-identical
+//! to running that session alone — see the `service_parity` suite in
+//! `gmp-bench` and the module docs of [`engine`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod workload;
+
+pub use engine::{EngineProtocol, ServiceConfig, ServiceRun, SessionEngine, SessionOutcome};
+pub use workload::{
+    GroupSpec, MembershipClock, ServiceWorkload, SessionSpec, TimedUpdate, WorkloadParams,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_core::GmpRouter;
+    use gmp_faults::FaultPlan;
+    use gmp_net::{NodeId, Topology, TopologyConfig};
+    use gmp_sim::{SimConfig, TaskRunner};
+
+    fn paper_setup() -> (Topology, SimConfig) {
+        let config = SimConfig::paper();
+        let topo = Topology::random(&TopologyConfig::new(800.0, 400, config.radio_range), 9);
+        (topo, config)
+    }
+
+    fn workload(topo: &Topology, sessions: usize, seed: u64) -> ServiceWorkload {
+        let candidates: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
+        let params = WorkloadParams {
+            groups: 8,
+            members_per_group: 8,
+            churn_updates: 60,
+            sessions,
+            duration_s: 30.0,
+            min_members: 2,
+            max_members: 20,
+            crash_detect_s: 15.0,
+        };
+        let plan = FaultPlan::none()
+            .with_crash(NodeId(5), 0.0)
+            .with_crash(NodeId(17), 0.0);
+        ServiceWorkload::random(&candidates, &params, &plan, seed)
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_runs() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 64, 21);
+        let mut router = GmpRouter::default();
+        let mut engine = SessionEngine::new(&topo, &config);
+        let a = engine.run(EngineProtocol::Shared(&mut router), &w);
+        let b = engine.run(EngineProtocol::Shared(&mut router), &w);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.task, y.task);
+            assert_eq!(x.report, y.report, "session {} diverged across runs", x.id);
+        }
+        assert_eq!(a.skipped_empty, b.skipped_empty);
+        assert_eq!(a.decisions, b.decisions);
+    }
+
+    #[test]
+    fn concurrent_reports_match_solo_runs() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 48, 33);
+        let mut router = GmpRouter::default();
+        let mut engine =
+            SessionEngine::with_service(&topo, &config, ServiceConfig { max_in_flight: 7 });
+        let run = engine.run(EngineProtocol::Shared(&mut router), &w);
+        assert!(!run.outcomes.is_empty());
+
+        let runner = TaskRunner::new(&topo, &config);
+        for outcome in &run.outcomes {
+            let mut solo = GmpRouter::default();
+            let report = runner.run_seeded(&mut solo, &outcome.task, outcome.seed);
+            assert_eq!(
+                outcome.report, report,
+                "session {} diverged from its solo run",
+                outcome.id
+            );
+        }
+    }
+
+    #[test]
+    fn tasks_match_workload_resolution() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 40, 5);
+        let resolved = w.resolve_tasks();
+        let mut router = GmpRouter::default();
+        let mut engine = SessionEngine::new(&topo, &config);
+        let run = engine.run(EngineProtocol::Shared(&mut router), &w);
+        let expected_some = resolved.iter().flatten().count();
+        assert_eq!(run.outcomes.len(), expected_some);
+        assert_eq!(run.skipped_empty, resolved.len() - expected_some);
+        for outcome in &run.outcomes {
+            assert_eq!(
+                Some(&outcome.task),
+                resolved[outcome.id as usize].as_ref(),
+                "session {} snapshot diverged from resolve_tasks",
+                outcome.id
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_pool_reaches_steady_state() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 32, 2);
+        let mut router = GmpRouter::default();
+        let mut engine =
+            SessionEngine::with_service(&topo, &config, ServiceConfig { max_in_flight: 4 });
+        let first = engine.run(EngineProtocol::Shared(&mut router), &w);
+        // At most 4 scratches ever exist; everything past the warm-up
+        // reuses one.
+        assert!(engine.pooled_scratches() <= 4);
+        assert!(first.scratch_reuses >= first.outcomes.len().saturating_sub(4));
+        // A warmed engine allocates no new scratches at all.
+        let second = engine.run(EngineProtocol::Shared(&mut router), &w);
+        assert_eq!(second.scratch_reuses, second.outcomes.len());
+    }
+
+    #[test]
+    fn per_session_protocols_complete() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 16, 13);
+        let mut factory = || Box::new(GmpRouter::default()) as Box<dyn gmp_sim::Protocol>;
+        let mut engine = SessionEngine::new(&topo, &config);
+        let run = engine.run(EngineProtocol::PerSession(&mut factory), &w);
+        let mut shared = GmpRouter::default();
+        let shared_run = engine.run(EngineProtocol::Shared(&mut shared), &w);
+        assert_eq!(run.outcomes.len(), shared_run.outcomes.len());
+        for (a, b) in run.outcomes.iter().zip(&shared_run.outcomes) {
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn capacity_one_serializes_without_changing_outcomes() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 24, 77);
+        let mut r1 = GmpRouter::default();
+        let mut wide = SessionEngine::new(&topo, &config);
+        let a = wide.run(EngineProtocol::Shared(&mut r1), &w);
+        let mut r2 = GmpRouter::default();
+        let mut narrow =
+            SessionEngine::with_service(&topo, &config, ServiceConfig { max_in_flight: 1 });
+        let b = narrow.run(EngineProtocol::Shared(&mut r2), &w);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.report, y.report);
+        }
+    }
+}

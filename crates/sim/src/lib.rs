@@ -50,6 +50,6 @@ pub use metrics::TaskReport;
 pub use packet::{DestList, MulticastPacket, RoutingState};
 pub use protocol::{Forward, NodeContext, Protocol};
 pub use region::RegionSim;
-pub use runner::{SimScratch, TaskRunner};
+pub use runner::{Session, SimScratch, TaskRunner};
 pub use scenario::Scenario;
 pub use task::MulticastTask;

@@ -86,6 +86,13 @@ impl RegionSim {
         self.window_locals.len()
     }
 
+    /// Region-local ids of the nodes inside the task window, ascending —
+    /// the candidate pool for window-scoped group membership and tasks.
+    #[inline]
+    pub fn window_nodes(&self) -> &[NodeId] {
+        &self.window_locals
+    }
+
     /// Draws a random multicast task (region-local ids) whose source and
     /// `k` destinations all lie inside the window.
     ///

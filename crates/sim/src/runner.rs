@@ -205,6 +205,11 @@ impl<'a> TaskRunner<'a> {
     /// [`TaskRunner::run_seeded`] through a caller-owned [`SimScratch`]:
     /// the task-throughput hot path. Steady-state (after a warm-up task of
     /// comparable size) the event loop performs zero heap allocations.
+    ///
+    /// Implemented as a [`Session`] driven to completion in place; the
+    /// concurrent engine in `gmp-service` drives the same state machine
+    /// one event batch at a time, which is why its per-session reports
+    /// stay bit-identical to this path.
     pub fn run_with_scratch(
         &self,
         protocol: &mut dyn Protocol,
@@ -212,345 +217,13 @@ impl<'a> TaskRunner<'a> {
         seed: u64,
         scratch: &mut SimScratch,
     ) -> TaskReport {
-        let mut report = TaskReport::new(protocol.name());
-        let energy = EnergyModel::from_config(self.config);
-        let positions = self.topo.positions_ref();
-        let mut rng = StdRng::seed_from_u64(seed);
-
-        let SimScratch {
-            queue,
-            on_air,
-            alive,
-            pending,
-            pending_count,
-            deliveries,
-            forwards,
-            drop_cause,
-            faults,
-            staged,
-        } = scratch;
-        queue.reset();
-        on_air.clear();
-        deliveries.clear();
-        forwards.clear();
-        staged.clear();
-
-        // Failure injection: sample the Bernoulli dead nodes (never the
-        // source, so the task can at least start), then apply the fault
-        // plan's t = 0 state. The timed-event machinery consumes no task
-        // RNG, keeping Bernoulli-only runs bit-identical to the seed's.
-        let plan = &self.config.faults;
-        alive.clear();
-        alive.resize(self.topo.len(), true);
-        plan.sample_node_failures(&mut rng, task.source, alive);
-        let has_events = plan.has_events();
-        if has_events {
-            faults.begin_task(plan, self.topo, task.source, alive);
-        }
-        let has_duty = has_events && faults.has_duty();
-        let has_churn = has_events && faults.has_churn();
-
-        drop_cause.clear();
-        drop_cause.resize(self.topo.len(), FailureCause::NoRoute);
-
-        pending.clear();
-        pending.resize(self.topo.len(), false);
-        *pending_count = 0;
-        for &d in &task.dests {
-            if !pending[d.index()] {
-                pending[d.index()] = true;
-                *pending_count += 1;
-            }
-        }
-
-        let mut events_processed = 0usize;
-
-        // Contexts are built inline (not through a closure) because the
-        // liveness view reborrows `alive`, which `advance_to` also
-        // mutates; the view is only exposed when the plan has timed
-        // events, so fault-free decisions stay bit-identical.
-        {
-            let ctx = NodeContext {
-                topo: self.topo,
-                node: task.source,
-                config: self.config,
-                alive: has_events.then_some(alive.as_slice()),
-            };
-            protocol.on_task_start(&ctx, task.source, &task.dests);
-
-            // The source processes the initial packet at t = 0.
-            let initial = MulticastPacket::new(0, task.source, task.dests.clone());
-            protocol.on_packet(&ctx, initial, forwards);
-        }
-        self.transmit_jittered(
-            task.source,
-            forwards,
-            queue,
-            &mut report,
-            &energy,
-            positions,
-            on_air,
-            &mut rng,
-            pending,
-            drop_cause,
-        );
-
-        // The staged pass applies when nothing between a pop and its
-        // forwards draws RNG: collisions off (no backoff draws, no on-air
-        // bookkeeping) and zero jitter (no send-time draws). The paper's
-        // default configuration qualifies; collision/jitter runs take the
-        // interleaved loop below, which handles retransmission.
-        let use_staged = !self.config.collisions && self.config.tx_jitter_s == 0.0;
-        if use_staged {
-            // Phase A pops the whole equal-time batch, doing exactly the
-            // work whose order is pinned to pop order — the event budget,
-            // fault-state advancement, and the liveness/loss verdicts
-            // (including their RNG draws). Phase B replays the batch in
-            // that same pop order, doing everything else: delivery
-            // bookkeeping, the routing decision, dispatch. The verdicts
-            // read only state phase B never touches (`alive`, the fault
-            // tables, the RNG), so splitting the loop reorders no write —
-            // it only groups the protocol's Steiner-tree work into one
-            // cache-warm run per batch.
-            //
-            // Batching is sound because every phase-B forward arrives
-            // strictly later than the batch time (airtime > 0, jitter 0):
-            // the batch is precisely the set of events the interleaved
-            // loop would pop before any event it schedules.
-            while let Some((time, first)) = queue.pop() {
-                let mut event = first;
-                loop {
-                    events_processed += 1;
-                    if events_processed > self.config.max_events {
-                        // The tripping event is discarded unprocessed —
-                        // the interleaved loop breaks at the same point,
-                        // with the rest of the batch already dispatched.
-                        report.truncated = true;
-                        break;
-                    }
-                    let Event::Deliver {
-                        to, from, packet, ..
-                    } = event;
-                    if has_events {
-                        faults.advance_to(time, task.source, alive);
-                    }
-                    // A dead receiver and a sleeping receiver drop with
-                    // the same cause by design; keep the branches in the
-                    // interleaved loop's exact order.
-                    #[allow(clippy::if_same_then_else)]
-                    let verdict = if !alive[to.index()] {
-                        Some(FailureCause::DeadNode)
-                    } else if has_duty && to != task.source && faults.node_asleep(to, time) {
-                        Some(FailureCause::DeadNode)
-                    } else if has_churn && faults.link_severed(from, to, time) {
-                        Some(FailureCause::LinkDown)
-                    } else if plan.transmission_lost(&mut rng) {
-                        Some(FailureCause::LinkLoss)
-                    } else {
-                        None
-                    };
-                    staged.push((to, packet, verdict));
-                    // Bitwise time equality: ±0.0 (ordered by `total_cmp`
-                    // in the heap) must not be merged into one batch.
-                    match queue.peek_time() {
-                        Some(t) if t.to_bits() == time.to_bits() => {
-                            event = queue.pop().expect("peeked").1;
-                        }
-                        _ => break,
-                    }
-                }
-                for (to, mut packet, verdict) in staged.drain(..) {
-                    if let Some(cause) = verdict {
-                        report.dropped_packets += 1;
-                        record_drop(&packet.dests, pending, drop_cause, cause);
-                        continue;
-                    }
-                    // Record delivery and strip the receiving node.
-                    if packet.dests.contains(&to) {
-                        packet.dests.retain(|&d| d != to);
-                        if pending[to.index()] {
-                            pending[to.index()] = false;
-                            *pending_count -= 1;
-                            deliveries.push((to, packet.hops, time));
-                            report.completion_time_s = report.completion_time_s.max(time);
-                        }
-                    }
-                    if packet.dests.is_empty() {
-                        continue;
-                    }
-                    let ctx = NodeContext {
-                        topo: self.topo,
-                        node: to,
-                        config: self.config,
-                        alive: has_events.then_some(alive.as_slice()),
-                    };
-                    protocol.on_packet(&ctx, packet, forwards);
-                    self.transmit_jittered(
-                        to,
-                        forwards,
-                        queue,
-                        &mut report,
-                        &energy,
-                        positions,
-                        on_air,
-                        &mut rng,
-                        pending,
-                        drop_cause,
-                    );
-                }
-                if report.truncated {
-                    break;
-                }
-            }
-        }
-        if !use_staged {
-            while let Some((time, event)) = queue.pop() {
-                events_processed += 1;
-                if events_processed > self.config.max_events {
-                    report.truncated = true;
-                    break;
-                }
-                let Event::Deliver {
-                    to,
-                    from,
-                    sent_at,
-                    retries,
-                    mut packet,
-                } = event;
-                if has_events {
-                    faults.advance_to(time, task.source, alive);
-                }
-                if !alive[to.index()] {
-                    report.dropped_packets += 1;
-                    record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
-                    continue;
-                }
-                // Duty-cycle sleep: a sleeping receiver misses the copy just
-                // like a dead one, but wakes up again (and the oracle never
-                // excuses the miss).
-                if has_duty && to != task.source && faults.node_asleep(to, time) {
-                    report.dropped_packets += 1;
-                    record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
-                    continue;
-                }
-                // Link churn: the link was severed while the copy was on it.
-                if has_churn && faults.link_severed(from, to, time) {
-                    report.dropped_packets += 1;
-                    record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkDown);
-                    continue;
-                }
-                // Link-loss injection: the transmission was made (and paid
-                // for) but the copy never arrives.
-                if plan.transmission_lost(&mut rng) {
-                    report.dropped_packets += 1;
-                    record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkLoss);
-                    continue;
-                }
-                // Collision model: the copy is destroyed if any other audible
-                // node (or the half-duplex receiver itself) transmitted during
-                // its airtime. The link layer retries with backoff, up to the
-                // configured budget (802.11-style), paying for each attempt.
-                if self.config.collisions {
-                    on_air.prune(time);
-                    if self.collides(on_air, sent_at, time, from, to) {
-                        if retries < self.config.max_retransmissions {
-                            let airtime = time - sent_at;
-                            let backoff = if self.config.tx_jitter_s > 0.0 {
-                                rng.gen_range(
-                                    0.0..=self.config.tx_jitter_s * (retries as f64 + 1.0),
-                                )
-                            } else {
-                                airtime
-                            };
-                            let link_m = self.topo.pos(from).dist(self.topo.pos(to));
-                            let listeners = self.topo.neighbors(from).len();
-                            report.transmissions += 1;
-                            report.bytes_transmitted += self.config.message_bytes;
-                            report.links.push((from, to));
-                            report.energy_j += energy.transmission_energy(
-                                self.config.message_bytes,
-                                listeners,
-                                link_m,
-                            );
-                            let resend_at = time + backoff;
-                            report.link_times_s.push(resend_at);
-                            on_air.push(resend_at, resend_at + airtime, from);
-                            queue.schedule(
-                                resend_at + airtime,
-                                Event::Deliver {
-                                    to,
-                                    from,
-                                    sent_at: resend_at,
-                                    retries: retries + 1,
-                                    packet,
-                                },
-                            );
-                        } else {
-                            report.dropped_packets += 1;
-                            record_drop(
-                                &packet.dests,
-                                pending,
-                                drop_cause,
-                                FailureCause::Collision,
-                            );
-                        }
-                        continue;
-                    }
-                }
-                // Record delivery and strip the receiving node.
-                if packet.dests.contains(&to) {
-                    packet.dests.retain(|&d| d != to);
-                    if pending[to.index()] {
-                        pending[to.index()] = false;
-                        *pending_count -= 1;
-                        deliveries.push((to, packet.hops, time));
-                        report.completion_time_s = report.completion_time_s.max(time);
-                    }
-                }
-                if packet.dests.is_empty() {
-                    continue;
-                }
-                let ctx = NodeContext {
-                    topo: self.topo,
-                    node: to,
-                    config: self.config,
-                    alive: has_events.then_some(alive.as_slice()),
-                };
-                protocol.on_packet(&ctx, packet, forwards);
-                self.transmit_jittered(
-                    to,
-                    forwards,
-                    queue,
-                    &mut report,
-                    &energy,
-                    positions,
-                    on_air,
-                    &mut rng,
-                    pending,
-                    drop_cause,
-                );
-            }
-        }
-
-        for &(to, hops, time) in deliveries.iter() {
-            report.delivery_hops.insert(to, hops);
-            report.delivery_times_s.insert(to, time);
-        }
-        if *pending_count > 0 {
-            // The delivery-guarantee oracle: classify every failure as
-            // justified (dead/disconnected destination) or a protocol
-            // failure carrying the proximate cause of the last drop.
-            faults.classify_failures(
-                self.topo,
-                task.source,
-                has_events,
-                alive,
-                pending,
-                drop_cause,
-                report.truncated,
-                &mut report.failed_dests,
-            );
-        }
+        // `SimScratch::default()` performs no heap allocation, so the
+        // take/restore pair keeps the zero-alloc steady state intact.
+        let owned = std::mem::take(scratch);
+        let mut session = Session::begin(*self, protocol, task, seed, owned);
+        while !session.step(protocol) {}
+        let (report, owned) = session.finish();
+        *scratch = owned;
         report
     }
 
@@ -653,6 +326,523 @@ impl<'a> TaskRunner<'a> {
                 },
             );
         }
+    }
+}
+
+/// One in-flight simulated multicast task, steppable one event batch at a
+/// time.
+///
+/// [`TaskRunner::run_with_scratch`] is `begin` → `step` until done →
+/// `finish`; a concurrent engine (the `gmp-service` crate) interleaves the
+/// `step` calls of many sessions over one shared topology. A session owns
+/// every piece of mutable per-task state — its [`SimScratch`] (event
+/// queue, liveness tables, compiled fault timeline), its
+/// failure-injection RNG, and its [`TaskReport`] — and its simulated
+/// clock is task-local (t = 0 at `begin`), so the interleaving order
+/// across sessions cannot change any session's outcome: every report is
+/// bit-identical to running the task alone through
+/// [`TaskRunner::run_with_scratch`].
+#[derive(Debug)]
+pub struct Session<'a> {
+    topo: &'a Topology,
+    config: &'a SimConfig,
+    scratch: SimScratch,
+    report: TaskReport,
+    energy: EnergyModel,
+    rng: StdRng,
+    source: NodeId,
+    has_events: bool,
+    has_duty: bool,
+    has_churn: bool,
+    use_staged: bool,
+    events_processed: usize,
+    decisions: usize,
+    done: bool,
+}
+
+impl<'a> Session<'a> {
+    /// Starts the task: samples failure injection, primes the compiled
+    /// fault timeline, and processes the source's initial routing decision
+    /// — everything the sequential loop did before popping its first
+    /// event. The session takes ownership of `scratch` (warm buffers and
+    /// the compiled-plan cache carry over) and returns it through
+    /// [`Session::finish`].
+    pub fn begin(
+        runner: TaskRunner<'a>,
+        protocol: &mut dyn Protocol,
+        task: &MulticastTask,
+        seed: u64,
+        mut scratch: SimScratch,
+    ) -> Self {
+        let TaskRunner { topo, config } = runner;
+        let mut report = TaskReport::new(protocol.name());
+        let energy = EnergyModel::from_config(config);
+        let positions = topo.positions_ref();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let SimScratch {
+            queue,
+            on_air,
+            alive,
+            pending,
+            pending_count,
+            deliveries,
+            forwards,
+            drop_cause,
+            faults,
+            staged,
+        } = &mut scratch;
+        queue.reset();
+        on_air.clear();
+        deliveries.clear();
+        forwards.clear();
+        staged.clear();
+
+        // Failure injection: sample the Bernoulli dead nodes (never the
+        // source, so the task can at least start), then apply the fault
+        // plan's t = 0 state. The timed-event machinery consumes no task
+        // RNG, keeping Bernoulli-only runs bit-identical to the seed's.
+        let plan = &config.faults;
+        alive.clear();
+        alive.resize(topo.len(), true);
+        plan.sample_node_failures(&mut rng, task.source, alive);
+        let has_events = plan.has_events();
+        if has_events {
+            faults.begin_task(plan, topo, task.source, alive);
+        }
+        let has_duty = has_events && faults.has_duty();
+        let has_churn = has_events && faults.has_churn();
+
+        drop_cause.clear();
+        drop_cause.resize(topo.len(), FailureCause::NoRoute);
+
+        pending.clear();
+        pending.resize(topo.len(), false);
+        *pending_count = 0;
+        for &d in &task.dests {
+            if !pending[d.index()] {
+                pending[d.index()] = true;
+                *pending_count += 1;
+            }
+        }
+
+        // Contexts are built inline (not through a closure) because the
+        // liveness view reborrows `alive`, which `advance_to` also
+        // mutates; the view is only exposed when the plan has timed
+        // events, so fault-free decisions stay bit-identical.
+        {
+            let ctx = NodeContext {
+                topo,
+                node: task.source,
+                config,
+                alive: has_events.then_some(alive.as_slice()),
+            };
+            protocol.on_task_start(&ctx, task.source, &task.dests);
+
+            // The source processes the initial packet at t = 0.
+            let initial = MulticastPacket::new(0, task.source, task.dests.clone());
+            protocol.on_packet(&ctx, initial, forwards);
+        }
+        runner.transmit_jittered(
+            task.source,
+            forwards,
+            queue,
+            &mut report,
+            &energy,
+            positions,
+            on_air,
+            &mut rng,
+            pending,
+            drop_cause,
+        );
+
+        // The staged pass applies when nothing between a pop and its
+        // forwards draws RNG: collisions off (no backoff draws, no on-air
+        // bookkeeping) and zero jitter (no send-time draws). The paper's
+        // default configuration qualifies; collision/jitter runs take the
+        // interleaved step, which handles retransmission.
+        let use_staged = !config.collisions && config.tx_jitter_s == 0.0;
+        Session {
+            topo,
+            config,
+            scratch,
+            report,
+            energy,
+            rng,
+            source: task.source,
+            has_events,
+            has_duty,
+            has_churn,
+            use_staged,
+            events_processed: 0,
+            // The initial packet was one routing decision.
+            decisions: 1,
+            done: false,
+        }
+    }
+
+    /// Advances the session by one unit of simulated work — the entire
+    /// next equal-time event batch in staged mode (collisions off, zero
+    /// jitter: the paper's default), or a single event otherwise — and
+    /// returns `true` once no work remains (then call
+    /// [`Session::finish`]).
+    pub fn step(&mut self, protocol: &mut dyn Protocol) -> bool {
+        if self.done {
+            return true;
+        }
+        if self.use_staged {
+            self.step_staged(protocol);
+        } else {
+            self.step_interleaved(protocol);
+        }
+        self.done
+    }
+
+    /// Task-local simulated time of the next pending event; `None` when
+    /// the session has no work left (a truncated session reports `None`
+    /// even though undispatched events remain).
+    pub fn next_time(&self) -> Option<f64> {
+        if self.done {
+            None
+        } else {
+            self.scratch.queue.peek_time()
+        }
+    }
+
+    /// `true` once [`Session::step`] has exhausted the session's work.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Routing decisions made so far ([`Protocol::on_packet`] calls,
+    /// counting the source's initial decision).
+    pub fn decisions(&self) -> usize {
+        self.decisions
+    }
+
+    /// Runs the end-of-task sweep (delivery maps, the delivery-guarantee
+    /// oracle) and returns the report plus the scratch for reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session still has dispatchable events — drive
+    /// [`Session::step`] until it returns `true` first.
+    pub fn finish(mut self) -> (TaskReport, SimScratch) {
+        assert!(
+            self.done || self.scratch.queue.is_empty(),
+            "Session::finish called with events still pending"
+        );
+        let SimScratch {
+            alive,
+            pending,
+            pending_count,
+            deliveries,
+            drop_cause,
+            faults,
+            ..
+        } = &mut self.scratch;
+        for &(to, hops, time) in deliveries.iter() {
+            self.report.delivery_hops.insert(to, hops);
+            self.report.delivery_times_s.insert(to, time);
+        }
+        if *pending_count > 0 {
+            // The delivery-guarantee oracle: classify every failure as
+            // justified (dead/disconnected destination) or a protocol
+            // failure carrying the proximate cause of the last drop.
+            faults.classify_failures(
+                self.topo,
+                self.source,
+                self.has_events,
+                alive,
+                pending,
+                drop_cause,
+                self.report.truncated,
+                &mut self.report.failed_dests,
+            );
+        }
+        (self.report, self.scratch)
+    }
+
+    /// One equal-time batch of the staged two-phase pass.
+    ///
+    /// Phase A pops the whole equal-time batch, doing exactly the work
+    /// whose order is pinned to pop order — the event budget, fault-state
+    /// advancement, and the liveness/loss verdicts (including their RNG
+    /// draws). Phase B replays the batch in that same pop order, doing
+    /// everything else: delivery bookkeeping, the routing decision,
+    /// dispatch. The verdicts read only state phase B never touches
+    /// (`alive`, the fault tables, the RNG), so splitting the loop
+    /// reorders no write — it only groups the protocol's Steiner-tree
+    /// work into one cache-warm run per batch.
+    ///
+    /// Batching is sound because every phase-B forward arrives strictly
+    /// later than the batch time (airtime > 0, jitter 0): the batch is
+    /// precisely the set of events the interleaved loop would pop before
+    /// any event it schedules.
+    fn step_staged(&mut self, protocol: &mut dyn Protocol) {
+        let Session {
+            topo,
+            config,
+            scratch,
+            report,
+            energy,
+            rng,
+            source,
+            has_events,
+            has_duty,
+            has_churn,
+            events_processed,
+            decisions,
+            done,
+            ..
+        } = self;
+        let (topo, config, source) = (*topo, *config, *source);
+        let (has_events, has_duty, has_churn) = (*has_events, *has_duty, *has_churn);
+        let runner = TaskRunner { topo, config };
+        let positions = topo.positions_ref();
+        let plan = &config.faults;
+        let SimScratch {
+            queue,
+            on_air,
+            alive,
+            pending,
+            pending_count,
+            deliveries,
+            forwards,
+            drop_cause,
+            faults,
+            staged,
+        } = scratch;
+
+        let Some((time, first)) = queue.pop() else {
+            *done = true;
+            return;
+        };
+        let mut event = first;
+        loop {
+            *events_processed += 1;
+            if *events_processed > config.max_events {
+                // The tripping event is discarded unprocessed — the
+                // interleaved loop breaks at the same point, with the
+                // rest of the batch already dispatched.
+                report.truncated = true;
+                break;
+            }
+            let Event::Deliver {
+                to, from, packet, ..
+            } = event;
+            if has_events {
+                faults.advance_to(time, source, alive);
+            }
+            // A dead receiver and a sleeping receiver drop with the same
+            // cause by design; keep the branches in the interleaved
+            // loop's exact order.
+            #[allow(clippy::if_same_then_else)]
+            let verdict = if !alive[to.index()] {
+                Some(FailureCause::DeadNode)
+            } else if has_duty && to != source && faults.node_asleep(to, time) {
+                Some(FailureCause::DeadNode)
+            } else if has_churn && faults.link_severed(from, to, time) {
+                Some(FailureCause::LinkDown)
+            } else if plan.transmission_lost(rng) {
+                Some(FailureCause::LinkLoss)
+            } else {
+                None
+            };
+            staged.push((to, packet, verdict));
+            // Bitwise time equality: ±0.0 (ordered by `total_cmp` in the
+            // heap) must not be merged into one batch.
+            match queue.peek_time() {
+                Some(t) if t.to_bits() == time.to_bits() => {
+                    event = queue.pop().expect("peeked").1;
+                }
+                _ => break,
+            }
+        }
+        for (to, mut packet, verdict) in staged.drain(..) {
+            if let Some(cause) = verdict {
+                report.dropped_packets += 1;
+                record_drop(&packet.dests, pending, drop_cause, cause);
+                continue;
+            }
+            // Record delivery and strip the receiving node.
+            if packet.dests.contains(&to) {
+                packet.dests.retain(|&d| d != to);
+                if pending[to.index()] {
+                    pending[to.index()] = false;
+                    *pending_count -= 1;
+                    deliveries.push((to, packet.hops, time));
+                    report.completion_time_s = report.completion_time_s.max(time);
+                }
+            }
+            if packet.dests.is_empty() {
+                continue;
+            }
+            let ctx = NodeContext {
+                topo,
+                node: to,
+                config,
+                alive: has_events.then_some(alive.as_slice()),
+            };
+            *decisions += 1;
+            protocol.on_packet(&ctx, packet, forwards);
+            runner.transmit_jittered(
+                to, forwards, queue, report, energy, positions, on_air, rng, pending, drop_cause,
+            );
+        }
+        if report.truncated {
+            *done = true;
+        }
+    }
+
+    /// One event of the interleaved loop (collision model and/or jitter
+    /// active).
+    fn step_interleaved(&mut self, protocol: &mut dyn Protocol) {
+        let Session {
+            topo,
+            config,
+            scratch,
+            report,
+            energy,
+            rng,
+            source,
+            has_events,
+            has_duty,
+            has_churn,
+            events_processed,
+            decisions,
+            done,
+            ..
+        } = self;
+        let (topo, config, source) = (*topo, *config, *source);
+        let (has_events, has_duty, has_churn) = (*has_events, *has_duty, *has_churn);
+        let runner = TaskRunner { topo, config };
+        let positions = topo.positions_ref();
+        let plan = &config.faults;
+        let SimScratch {
+            queue,
+            on_air,
+            alive,
+            pending,
+            pending_count,
+            deliveries,
+            forwards,
+            drop_cause,
+            faults,
+            staged: _,
+        } = scratch;
+
+        let Some((time, event)) = queue.pop() else {
+            *done = true;
+            return;
+        };
+        *events_processed += 1;
+        if *events_processed > config.max_events {
+            report.truncated = true;
+            *done = true;
+            return;
+        }
+        let Event::Deliver {
+            to,
+            from,
+            sent_at,
+            retries,
+            mut packet,
+        } = event;
+        if has_events {
+            faults.advance_to(time, source, alive);
+        }
+        if !alive[to.index()] {
+            report.dropped_packets += 1;
+            record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
+            return;
+        }
+        // Duty-cycle sleep: a sleeping receiver misses the copy just
+        // like a dead one, but wakes up again (and the oracle never
+        // excuses the miss).
+        if has_duty && to != source && faults.node_asleep(to, time) {
+            report.dropped_packets += 1;
+            record_drop(&packet.dests, pending, drop_cause, FailureCause::DeadNode);
+            return;
+        }
+        // Link churn: the link was severed while the copy was on it.
+        if has_churn && faults.link_severed(from, to, time) {
+            report.dropped_packets += 1;
+            record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkDown);
+            return;
+        }
+        // Link-loss injection: the transmission was made (and paid
+        // for) but the copy never arrives.
+        if plan.transmission_lost(rng) {
+            report.dropped_packets += 1;
+            record_drop(&packet.dests, pending, drop_cause, FailureCause::LinkLoss);
+            return;
+        }
+        // Collision model: the copy is destroyed if any other audible
+        // node (or the half-duplex receiver itself) transmitted during
+        // its airtime. The link layer retries with backoff, up to the
+        // configured budget (802.11-style), paying for each attempt.
+        if config.collisions {
+            on_air.prune(time);
+            if runner.collides(on_air, sent_at, time, from, to) {
+                if retries < config.max_retransmissions {
+                    let airtime = time - sent_at;
+                    let backoff = if config.tx_jitter_s > 0.0 {
+                        rng.gen_range(0.0..=config.tx_jitter_s * (retries as f64 + 1.0))
+                    } else {
+                        airtime
+                    };
+                    let link_m = topo.pos(from).dist(topo.pos(to));
+                    let listeners = topo.neighbors(from).len();
+                    report.transmissions += 1;
+                    report.bytes_transmitted += config.message_bytes;
+                    report.links.push((from, to));
+                    report.energy_j +=
+                        energy.transmission_energy(config.message_bytes, listeners, link_m);
+                    let resend_at = time + backoff;
+                    report.link_times_s.push(resend_at);
+                    on_air.push(resend_at, resend_at + airtime, from);
+                    queue.schedule(
+                        resend_at + airtime,
+                        Event::Deliver {
+                            to,
+                            from,
+                            sent_at: resend_at,
+                            retries: retries + 1,
+                            packet,
+                        },
+                    );
+                } else {
+                    report.dropped_packets += 1;
+                    record_drop(&packet.dests, pending, drop_cause, FailureCause::Collision);
+                }
+                return;
+            }
+        }
+        // Record delivery and strip the receiving node.
+        if packet.dests.contains(&to) {
+            packet.dests.retain(|&d| d != to);
+            if pending[to.index()] {
+                pending[to.index()] = false;
+                *pending_count -= 1;
+                deliveries.push((to, packet.hops, time));
+                report.completion_time_s = report.completion_time_s.max(time);
+            }
+        }
+        if packet.dests.is_empty() {
+            return;
+        }
+        let ctx = NodeContext {
+            topo,
+            node: to,
+            config,
+            alive: has_events.then_some(alive.as_slice()),
+        };
+        *decisions += 1;
+        protocol.on_packet(&ctx, packet, forwards);
+        runner.transmit_jittered(
+            to, forwards, queue, report, energy, positions, on_air, rng, pending, drop_cause,
+        );
     }
 }
 
@@ -1141,6 +1331,39 @@ mod tests {
                     assert_eq!(fresh, reused);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn manually_stepped_session_matches_one_shot_run() {
+        // Drive a Session by hand — begin / step-until-done / finish —
+        // across staged (paper default) and interleaved (collisions)
+        // configurations; the report must be bit-identical to
+        // run_with_scratch, and next_time() must be non-decreasing.
+        let topo = line_topology(7);
+        let configs = [
+            line_config(),
+            line_config()
+                .with_collisions(true)
+                .with_tx_jitter(0.002)
+                .with_retransmissions(3),
+            line_config().with_link_loss_prob(0.3),
+        ];
+        let task = MulticastTask::new(NodeId(3), vec![NodeId(0), NodeId(6)]);
+        for config in &configs {
+            let runner = TaskRunner::new(&topo, config);
+            let oneshot = runner.run_seeded(&mut Greedy, &task, 5);
+            let mut session = Session::begin(runner, &mut Greedy, &task, 5, SimScratch::new());
+            let mut last = f64::NEG_INFINITY;
+            while let Some(t) = session.next_time() {
+                assert!(t >= last, "event times must be non-decreasing");
+                last = t;
+                session.step(&mut Greedy);
+            }
+            assert!(session.step(&mut Greedy), "drained session must be done");
+            assert!(session.decisions() >= 1);
+            let (report, _scratch) = session.finish();
+            assert_eq!(report, oneshot);
         }
     }
 
