@@ -714,7 +714,7 @@ fn run_bench(args: &Args) {
     let allocs_after = ALLOCS.load(Ordering::SeqCst);
     let decisions = rounds * tasks.len();
     let decisions_per_sec = decisions as f64 / decision_secs;
-    let allocs_per_decision = (allocs_after - allocs_before) as f64 / decisions as f64;
+    let allocs_per_decision = ratio((allocs_after - allocs_before) as f64, decisions as f64);
     assert!(covered > 0, "decision workload routed nothing");
     // Steady-state cache behaviour over the measured window only.
     let end_stats = cache.stats();
@@ -725,7 +725,7 @@ fn run_bench(args: &Args) {
     let cache_epoch_flushes = end_stats.epoch_flushes - warm_stats.epoch_flushes;
     let cache_pool_reused = end_stats.pool_reused - warm_stats.pool_reused;
     let cache_entries_live = end_stats.entries_live;
-    let cache_hit_rate = cache_hits as f64 / decisions as f64;
+    let cache_hit_rate = ratio(cache_hits as f64, decisions as f64);
 
     // End-to-end task throughput: the whole simulator loop (routing at
     // every hop, delivery bookkeeping, energy accounting).
@@ -986,25 +986,33 @@ fn run_scale(args: &Args) {
 /// The concurrent-service benchmark behind `BENCH_5.json`: sustained
 /// multicast session throughput under churn through the `gmp-service`
 /// engine, against back-to-back sequential runs of the identical session
-/// set (the ≥2x headline gate). `--quick` runs the paper topology at 1k
-/// sessions (the CI smoke gate); the full run adds 10k sessions and the
-/// sharded 100k-node substrate. Run it from a `--release` build.
+/// set (the ≥2x headline gate), plus the multi-worker core-scaling curve
+/// (1/2/4/8 workers over one shared [`gmp_core::ConcurrentTreeCache`]).
+/// `--quick` runs the paper topology at 1k sessions (the CI smoke gate);
+/// the full run adds 10k sessions and the sharded 100k-node substrate.
+/// `--threads`/`GMP_BENCH_THREADS` collapses the worker axis to one
+/// count. Run it from a `--release` build.
 fn run_service(args: &Args) {
-    use gmp_bench::service::{paper_service_point, sharded_service_point, ServicePoint};
+    use gmp_bench::service::{paper_scaling_curve, sharded_service_point, ServicePoint};
 
     let quick = args.scale == Scale::quick();
     let alloc_counter = || ALLOCS.load(Ordering::Relaxed);
+    let axis: Vec<usize> = if args.threads > 0 {
+        vec![args.threads]
+    } else {
+        vec![1, 2, 4, 8]
+    };
     let start = Instant::now();
     let mut points: Vec<ServicePoint> = Vec::new();
-    eprintln!("service: paper topology, 1000 sessions…");
-    points.push(paper_service_point(1_000, 42, Some(&alloc_counter)));
+    eprintln!("service: paper topology, 1000 sessions, workers ∈ {axis:?}…");
+    points.extend(paper_scaling_curve(1_000, 42, Some(&alloc_counter), &axis));
     if !quick {
-        eprintln!("service: paper topology, 10000 sessions…");
-        points.push(paper_service_point(10_000, 43, Some(&alloc_counter)));
+        eprintln!("service: paper topology, 10000 sessions, workers ∈ {axis:?}…");
+        points.extend(paper_scaling_curve(10_000, 43, Some(&alloc_counter), &axis));
         eprintln!("service: sharded 100k substrate, 1000 sessions over 4 windows…");
-        points.push(sharded_service_point(100_000, 4, 1_000, 44));
+        points.push(sharded_service_point(100_000, 4, 1_000, 44, 4));
         eprintln!("service: sharded 100k substrate, 10000 sessions over 8 windows…");
-        points.push(sharded_service_point(100_000, 8, 10_000, 45));
+        points.push(sharded_service_point(100_000, 8, 10_000, 45, 8));
     }
     eprintln!(
         "service bench finished in {:.1}s",
@@ -1014,26 +1022,30 @@ fn run_service(args: &Args) {
     let mut table = vec![vec![
         "topology".to_string(),
         "sessions".to_string(),
+        "workers".to_string(),
         "seq/s".to_string(),
         "conc/s".to_string(),
         "speedup".to_string(),
         "par/s".to_string(),
-        "p50 ms".to_string(),
-        "p99 ms".to_string(),
-        "decisions/s".to_string(),
+        "scaling".to_string(),
+        "par p50 ms".to_string(),
+        "par p99 ms".to_string(),
+        "hit rate".to_string(),
         "match".to_string(),
     ]];
     for p in &points {
         table.push(vec![
             p.topology.clone(),
             p.sessions.to_string(),
+            p.threads.to_string(),
             format!("{:.0}", p.sequential_sessions_per_sec),
             format!("{:.0}", p.concurrent_sessions_per_sec),
             format!("{:.2}x", p.speedup),
             format!("{:.0}", p.parallel_sessions_per_sec),
-            format!("{:.3}", p.p50_latency_ms),
-            format!("{:.3}", p.p99_latency_ms),
-            format!("{:.0}", p.decisions_per_sec),
+            format!("{:.2}x", p.parallel_scaling),
+            format!("{:.3}", p.parallel_p50_latency_ms),
+            format!("{:.3}", p.parallel_p99_latency_ms),
+            format!("{:.3}", p.cache.hit_rate()),
             p.reports_match.to_string(),
         ]);
     }
@@ -1047,8 +1059,9 @@ fn run_service(args: &Args) {
     json.push_str(
         "  \"note\": \"sequential baseline = back-to-back self-contained runs of the identical \
          session set (fresh protocol + scratch per session); latency is wall-clock admission to \
-         completion of the as-fast-as-possible engine loop; reports_match certifies every \
-         concurrent and parallel session report bit-identical to its sequential twin\",\n",
+         completion of the as-fast-as-possible engine loop; the worker axis shards one engine \
+         over a shared concurrent decision cache; reports_match certifies every concurrent and \
+         parallel session report bit-identical to its sequential twin at every worker count\",\n",
     );
     json.push_str("  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -1058,8 +1071,10 @@ fn run_service(args: &Args) {
              \"sequential_wall_s\": {}, \"sequential_sessions_per_sec\": {}, \
              \"concurrent_wall_s\": {}, \"concurrent_sessions_per_sec\": {}, \
              \"decisions_per_sec\": {}, \"p50_latency_ms\": {}, \"p99_latency_ms\": {}, \
-             \"parallel_batches\": {}, \"parallel_wall_s\": {}, \"parallel_sessions_per_sec\": {}, \
-             \"speedup\": {}, \"allocs_per_session\": {}, \"steady_alloc_drift\": {}, \
+             \"threads\": {}, \"parallel_wall_s\": {}, \"parallel_sessions_per_sec\": {}, \
+             \"parallel_p50_latency_ms\": {}, \"parallel_p99_latency_ms\": {}, \
+             \"speedup\": {}, \"parallel_scaling\": {}, \"allocs_per_session\": {}, \
+             \"steady_alloc_drift\": {}, \
              \"reports_match\": {}, \"decision_cache\": {{ \"hits\": {}, \"misses\": {}, \
              \"fallbacks\": {}, \"evictions\": {}, \"epoch_flushes\": {}, \"entries_live\": {}, \
              \"pool_reused\": {}, \"hit_rate\": {:.4} }} }}{}\n",
@@ -1077,10 +1092,13 @@ fn run_service(args: &Args) {
             json_f64(p.decisions_per_sec),
             json_f64(p.p50_latency_ms),
             json_f64(p.p99_latency_ms),
-            p.parallel_batches,
+            p.threads,
             json_f64(p.parallel_wall_s),
             json_f64(p.parallel_sessions_per_sec),
+            json_f64(p.parallel_p50_latency_ms),
+            json_f64(p.parallel_p99_latency_ms),
             json_f64(p.speedup),
+            json_f64(p.parallel_scaling),
             p.allocs_per_session.map_or_else(|| "null".into(), json_f64),
             p.steady_alloc_drift
                 .map_or_else(|| "null".to_string(), |d| d.to_string()),
@@ -1108,6 +1126,16 @@ fn run_service(args: &Args) {
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// A ratio that is 0.0 (not NaN) when the denominator is zero, so
+/// zero-sample runs emit gateable numbers instead of `null`.
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
     }
 }
 
@@ -1247,7 +1275,7 @@ fn run_campaign(args: &Args) {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let mut args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -1258,6 +1286,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Precedence: an explicit --threads wins; otherwise the
+    // GMP_BENCH_THREADS environment knob (malformed values warn and fall
+    // back to the default); otherwise all available cores.
+    if args.threads == 0 {
+        args.threads = gmp_bench::experiments::threads_from_env();
+    }
     set_worker_threads(args.threads);
     match args.command.as_str() {
         "all" => {

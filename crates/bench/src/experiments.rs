@@ -107,6 +107,40 @@ pub fn set_worker_threads(n: usize) {
     WORKER_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// Reads the worker-thread override from the `GMP_BENCH_THREADS`
+/// environment variable, handling malformed values the same way the
+/// `GMP_CACHE_*` knobs do: warn on stderr and fall back to the default
+/// (0 = `available_parallelism`) instead of aborting a long bench run.
+pub fn threads_from_env() -> usize {
+    let (threads, warnings) = threads_from_lookup(|key| std::env::var(key).ok());
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+    threads
+}
+
+/// [`threads_from_env`] with the variable source injected, so both the
+/// accepted and rejected paths are unit-testable without touching the
+/// process environment. Returns the thread count (0 = all cores) and
+/// any warnings the caller should surface.
+pub fn threads_from_lookup(lookup: impl Fn(&str) -> Option<String>) -> (usize, Vec<String>) {
+    let mut warnings = Vec::new();
+    let threads = match lookup("GMP_BENCH_THREADS") {
+        None => 0,
+        Some(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                warnings.push(format!(
+                    "GMP_BENCH_THREADS={raw:?} is not a non-negative integer; \
+                     using all available cores"
+                ));
+                0
+            }
+        },
+    };
+    (threads, warnings)
+}
+
 /// Simple work-stealing parallel map preserving input order. Workers
 /// stream `(index, result)` pairs over a channel; the caller thread
 /// assembles them, so no worker ever blocks on a shared results lock.
@@ -449,6 +483,39 @@ mod tests {
             networks: 1,
             tasks_per_network: 5,
             k_values: vec![4, 8],
+        }
+    }
+
+    #[test]
+    fn bench_threads_env_accepts_valid_values() {
+        let (threads, warnings) = threads_from_lookup(|_| Some("8".into()));
+        assert_eq!(threads, 8);
+        assert!(warnings.is_empty());
+
+        // 0 is the explicit "all cores" spelling, not an error.
+        let (threads, warnings) = threads_from_lookup(|_| Some("0".into()));
+        assert_eq!(threads, 0);
+        assert!(warnings.is_empty());
+
+        let (threads, warnings) = threads_from_lookup(|_| None);
+        assert_eq!(threads, 0);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn bench_threads_env_warns_and_defaults_on_malformed_values() {
+        for bad in ["four", "-2", "2.5", ""] {
+            let (threads, warnings) = threads_from_lookup(|key| {
+                assert_eq!(key, "GMP_BENCH_THREADS");
+                Some(bad.into())
+            });
+            assert_eq!(threads, 0, "malformed {bad:?} must fall back to default");
+            assert_eq!(warnings.len(), 1, "malformed {bad:?} must warn");
+            assert!(
+                warnings[0].contains("GMP_BENCH_THREADS"),
+                "warning names the knob: {}",
+                warnings[0]
+            );
         }
     }
 

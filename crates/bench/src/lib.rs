@@ -37,7 +37,7 @@ pub use experiments::{
 pub use protocols::ProtocolKind;
 pub use rss::peak_rss_bytes;
 pub use scale::{scale_curve, ScalePoint};
-pub use service::{paper_service_point, sharded_service_point, ServicePoint};
+pub use service::{paper_scaling_curve, sharded_service_point, ServicePoint};
 pub use table::{render_table, write_csv};
 
 /// Planar-kind constants shared with the ablation (kept out of the public

@@ -1,5 +1,6 @@
 //! The concurrent-service workload behind `BENCH_5.json`: sustained
-//! multicast session throughput under churn.
+//! multicast session throughput under churn, swept over a worker-thread
+//! axis.
 //!
 //! A deployed GMP network does not run one multicast task at a time — it
 //! carries thousands of overlapping sessions whose groups churn as nodes
@@ -14,32 +15,40 @@
 //!   topology on a single thread, sharing the decision cache and pooled
 //!   scratch state; the `reports_match` flag certifies each session's
 //!   report is bit-identical to its sequential twin;
-//! * the **parallel engine** additionally fans disjoint session batches
-//!   (split by group, or by task window on the sharded substrate) across
-//!   the crossbeam worker pool — outcomes still bit-identical;
+//! * the **parallel engine** shards the event wheel across 1/2/4/8
+//!   worker threads ([`SessionEngine::run_parallel`]), every worker's
+//!   router backed by ONE shared [`ConcurrentTreeCache`] — so misses are
+//!   paid once fleet-wide instead of once per worker, and outcomes stay
+//!   bit-identical at every thread count (that is the per-point
+//!   `reports_match` certificate);
 //! * fault wiring follows the cache-sharing determinism rule: crashes are
 //!   *timed* events (identical alive vectors for every session, so cache
 //!   keys stay shared) surfaced to the membership service as crash-derived
 //!   leaves after a detection delay.
 //!
 //! Session latency is wall-clock admission → completion of the engine's
-//! as-fast-as-possible loop, not simulated service time.
+//! as-fast-as-possible loop, not simulated service time; the parallel
+//! percentiles expose the latency cost of sharing a core budget across
+//! workers.
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use gmp_core::{CacheStats, GmpRouter};
+use gmp_core::{CacheConfig, CacheStats, ConcurrentTreeCache, GmpRouter};
 use gmp_net::{NodeId, ShardConfig, ShardedTopology, Topology};
-use gmp_service::{EngineProtocol, ServiceWorkload, SessionEngine, SessionOutcome, WorkloadParams};
-use gmp_sim::{FaultPlan, RegionSim, SimConfig, TaskReport, TaskRunner};
+use gmp_service::{
+    EngineProtocol, ParallelProtocol, ServiceWorkload, SessionEngine, SessionOutcome,
+    WorkloadParams,
+};
+use gmp_sim::{FaultPlan, Protocol, RegionSim, SimConfig, TaskReport, TaskRunner};
 
-use crate::experiments::parallel_map;
 use crate::scale::{window_at, MARGIN, RADIO_RANGE};
 
 /// Fraction of candidate nodes crashed at session-local t = 0 (one in
 /// `CRASH_STRIDE` nodes).
 const CRASH_STRIDE: usize = 100;
 
-/// Measurements at one (topology, session count) point.
+/// Measurements at one (topology, session count, worker count) point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServicePoint {
     /// Topology label (`paper-1000` or `sharded-100k`).
@@ -66,26 +75,34 @@ pub struct ServicePoint {
     pub concurrent_sessions_per_sec: f64,
     /// Routing decisions per second through the concurrent engine.
     pub decisions_per_sec: f64,
-    /// Median session latency (admission → completion), milliseconds.
+    /// Median session latency (admission → completion) of the
+    /// single-thread concurrent engine, milliseconds.
     pub p50_latency_ms: f64,
-    /// 99th-percentile session latency, milliseconds.
+    /// 99th-percentile concurrent session latency, milliseconds.
     pub p99_latency_ms: f64,
-    /// Disjoint batches the parallel leg fanned out.
-    pub parallel_batches: usize,
-    /// Wall seconds for the shard-parallel engine.
+    /// Worker threads driving the sharded parallel engine at this point.
+    pub threads: usize,
+    /// Wall seconds for the multi-worker parallel engine.
     pub parallel_wall_s: f64,
     /// Parallel sessions per second.
     pub parallel_sessions_per_sec: f64,
+    /// Median parallel session latency, milliseconds.
+    pub parallel_p50_latency_ms: f64,
+    /// 99th-percentile parallel session latency, milliseconds.
+    pub parallel_p99_latency_ms: f64,
     /// Concurrent vs sequential throughput ratio (the ≥2x headline gate).
     pub speedup: f64,
-    /// Heap allocations per session over a warmed engine re-run; `None`
-    /// when no allocation counter hook was supplied.
+    /// Parallel vs single-thread concurrent throughput ratio — the
+    /// core-scaling curve's y-axis.
+    pub parallel_scaling: f64,
+    /// Heap allocations per session over a warmed parallel re-run;
+    /// `None` when no allocation counter hook was supplied.
     pub allocs_per_session: Option<f64>,
-    /// Allocation-count difference between two identical warmed re-runs
-    /// (steady state ⇔ exactly 0); `None` without a counter hook.
+    /// Allocation-count difference between two identical warmed parallel
+    /// re-runs (steady state ⇔ exactly 0); `None` without a counter hook.
     pub steady_alloc_drift: Option<i64>,
-    /// Decision-cache statistics of the concurrent engine's shared
-    /// router(s), summed across windows on the sharded substrate.
+    /// Statistics of the [`ConcurrentTreeCache`] shared by this point's
+    /// workers, summed across windows on the sharded substrate.
     pub cache: CacheStats,
     /// Whether every concurrent and parallel report was bit-identical to
     /// its sequential twin.
@@ -119,34 +136,6 @@ fn crash_count(plan: &FaultPlan) -> usize {
         .iter()
         .filter(|e| matches!(e, gmp_sim::FaultEvent::Crash { .. }))
         .count()
-}
-
-/// Splits a workload into `batches` disjoint sub-workloads by group.
-/// Sessions of different groups share no membership state, so each batch
-/// replays independently with bit-identical outcomes.
-fn split_by_group(w: &ServiceWorkload, batches: usize) -> Vec<ServiceWorkload> {
-    (0..batches)
-        .map(|b| ServiceWorkload {
-            groups: w
-                .groups
-                .iter()
-                .filter(|g| g.group.0 as usize % batches == b)
-                .copied()
-                .collect(),
-            updates: w
-                .updates
-                .iter()
-                .filter(|u| u.update.group.0 as usize % batches == b)
-                .copied()
-                .collect(),
-            sessions: w
-                .sessions
-                .iter()
-                .filter(|s| s.group.0 as usize % batches == b)
-                .copied()
-                .collect(),
-        })
-        .collect()
 }
 
 /// Back-to-back sequential baseline: each session as a self-contained
@@ -186,13 +175,24 @@ fn outcomes_match(outcomes: &[SessionOutcome], sequential: &[Option<TaskReport>]
     })
 }
 
+/// A `Sync` router factory whose products all share `cache` — what every
+/// parallel worker constructs its protocol from.
+fn shared_router_factory(cache: Arc<ConcurrentTreeCache>) -> impl Fn() -> Box<dyn Protocol> + Sync {
+    move || Box::new(GmpRouter::with_shared_cache(Arc::clone(&cache))) as Box<dyn Protocol>
+}
+
 /// Runs the service benchmark on the paper-scale topology (1000 nodes,
-/// topology seed 1).
-pub fn paper_service_point(
+/// topology seed 1), producing one [`ServicePoint`] per entry of
+/// `threads_axis`. The sequential and single-thread concurrent legs run
+/// once and are replicated into every point; the parallel leg (and its
+/// shared cache, latency percentiles, and steady-state allocation
+/// certificate) is measured per worker count, from cold.
+pub fn paper_scaling_curve(
     sessions: usize,
     seed: u64,
     alloc_counter: Option<&dyn Fn() -> usize>,
-) -> ServicePoint {
+    threads_axis: &[usize],
+) -> Vec<ServicePoint> {
     let base = SimConfig::paper();
     let topo = Topology::random(&base.topology_config(), 1);
     let candidates: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
@@ -223,102 +223,119 @@ pub fn paper_service_point(
     let t0 = Instant::now();
     let run = engine.run(EngineProtocol::Shared(&mut router), &workload);
     let conc_wall = t0.elapsed().as_secs_f64();
-    let cache = router.cache_stats();
-    let mut reports_match = outcomes_match(&run.outcomes, &seq_reports);
-    let mut latencies: Vec<f64> = run.outcomes.iter().map(|o| o.latency_s).collect();
-
-    // Steady-state allocation profile: two more runs over the warmed
-    // engine (scratch pool full), each with a fresh router so both runs
-    // replay the identical workload from the identical cache state. Any
-    // drift between them means the engine itself — not the per-run cache
-    // build — is still allocating; steady state is exactly 0.
-    let (allocs_per_session, steady_alloc_drift) = match alloc_counter {
-        Some(count) => {
-            // One unmeasured warm-up: the scratch pool's ordering (and
-            // thus buffer sizing) settles on the engine's second pass
-            // over a workload, so measure passes three and four.
-            let mut warm_router = GmpRouter::new();
-            let _ = engine.run(EngineProtocol::Shared(&mut warm_router), &workload);
-            drop(warm_router);
-            let mut run2_router = GmpRouter::new();
-            let before = count();
-            let _ = engine.run(EngineProtocol::Shared(&mut run2_router), &workload);
-            let mid = count();
-            drop(run2_router);
-            let mut run3_router = GmpRouter::new();
-            let resumed = count();
-            let _ = engine.run(EngineProtocol::Shared(&mut run3_router), &workload);
-            let after = count();
-            let run2 = mid - before;
-            let run3 = after - resumed;
-            (
-                Some(run2 as f64 / run.outcomes.len().max(1) as f64),
-                Some(run3 as i64 - run2 as i64),
-            )
-        }
-        None => (None, None),
-    };
-
-    // Shard-parallel leg: disjoint per-group batches over the worker pool.
-    let batches = split_by_group(&workload, params.groups.min(16));
-    let parallel_batches = batches.len();
-    let t0 = Instant::now();
-    let batch_runs = parallel_map(batches, |batch| {
-        let mut router = GmpRouter::new();
-        let mut engine = SessionEngine::new(&topo, &config);
-        engine.run(EngineProtocol::Shared(&mut router), batch)
-    });
-    let par_wall = t0.elapsed().as_secs_f64();
-    let par_completed: usize = batch_runs.iter().map(|r| r.outcomes.len()).sum();
-    reports_match &= batch_runs
-        .iter()
-        .all(|r| outcomes_match(&r.outcomes, &seq_reports));
-    assert_eq!(
-        par_completed,
-        run.outcomes.len(),
-        "parallel leg lost sessions"
-    );
-
+    let base_match = outcomes_match(&run.outcomes, &seq_reports);
+    let mut conc_latencies: Vec<f64> = run.outcomes.iter().map(|o| o.latency_s).collect();
     let completed = run.outcomes.len();
     assert_eq!(
         completed, seq_completed,
         "engine and baseline disagree on session count"
     );
-    ServicePoint {
-        topology: "paper-1000".into(),
-        nodes: topo.len(),
-        sessions: completed,
-        groups: params.groups,
-        membership_updates: workload.updates.len(),
-        fault_crashes: crash_count(&plan),
-        skipped_empty: run.skipped_empty,
-        sequential_wall_s: seq_wall,
-        sequential_sessions_per_sec: completed as f64 / seq_wall,
-        concurrent_wall_s: conc_wall,
-        concurrent_sessions_per_sec: completed as f64 / conc_wall,
-        decisions_per_sec: run.decisions as f64 / conc_wall,
-        p50_latency_ms: percentile_ms(&mut latencies, 0.50),
-        p99_latency_ms: percentile_ms(&mut latencies, 0.99),
-        parallel_batches,
-        parallel_wall_s: par_wall,
-        parallel_sessions_per_sec: par_completed as f64 / par_wall,
-        speedup: seq_wall / conc_wall,
-        allocs_per_session,
-        steady_alloc_drift,
-        cache,
-        reports_match,
-    }
+    let p50_latency_ms = percentile_ms(&mut conc_latencies, 0.50);
+    let p99_latency_ms = percentile_ms(&mut conc_latencies, 0.99);
+
+    threads_axis
+        .iter()
+        .map(|&threads| {
+            // Parallel leg, from cold at every point: a fresh shared
+            // cache so each point's hit rate is self-contained, a fresh
+            // engine so no pool warmth leaks between thread counts.
+            let cache = Arc::new(ConcurrentTreeCache::with_config(CacheConfig::default()));
+            let factory = shared_router_factory(Arc::clone(&cache));
+            let mut engine = SessionEngine::new(&topo, &config);
+            let t0 = Instant::now();
+            let par =
+                engine.run_parallel(ParallelProtocol::PerWorker(&factory), &workload, threads);
+            let par_wall = t0.elapsed().as_secs_f64();
+            let reports_match = base_match && outcomes_match(&par.outcomes, &seq_reports);
+            assert_eq!(par.outcomes.len(), completed, "parallel leg lost sessions");
+            let mut par_latencies: Vec<f64> = par.outcomes.iter().map(|o| o.latency_s).collect();
+
+            // Steady-state allocation profile of the *parallel* engine.
+            // Warm-up runs until two consecutive passes allocate the same
+            // amount: the scratch pool is returned in worker order and
+            // re-dealt round-robin, so a scratch can land on a
+            // higher-demand session a few runs in and still grow a buffer
+            // — capacities only ever grow, so this converges, but at
+            // higher worker counts it can take more than one pass. Two
+            // measured re-runs then replay the identical strided schedule
+            // against the now-frozen shared cache. Any drift between them
+            // means the multi-worker path is still allocating; steady
+            // state is exactly 0.
+            let (allocs_per_session, steady_alloc_drift) = match alloc_counter {
+                Some(count) => {
+                    let mut rerun = || {
+                        let before = count();
+                        let _ = engine.run_parallel(
+                            ParallelProtocol::PerWorker(&factory),
+                            &workload,
+                            threads,
+                        );
+                        count() - before
+                    };
+                    let mut prev = rerun();
+                    for _ in 0..8 {
+                        let next = rerun();
+                        let settled = next == prev;
+                        prev = next;
+                        if settled {
+                            break;
+                        }
+                    }
+                    let run2 = prev;
+                    let run3 = rerun();
+                    (
+                        Some(run2 as f64 / completed.max(1) as f64),
+                        Some(run3 as i64 - run2 as i64),
+                    )
+                }
+                None => (None, None),
+            };
+
+            ServicePoint {
+                topology: "paper-1000".into(),
+                nodes: topo.len(),
+                sessions: completed,
+                groups: params.groups,
+                membership_updates: workload.updates.len(),
+                fault_crashes: crash_count(&plan),
+                skipped_empty: run.skipped_empty,
+                sequential_wall_s: seq_wall,
+                sequential_sessions_per_sec: completed as f64 / seq_wall,
+                concurrent_wall_s: conc_wall,
+                concurrent_sessions_per_sec: completed as f64 / conc_wall,
+                decisions_per_sec: run.decisions as f64 / conc_wall,
+                p50_latency_ms,
+                p99_latency_ms,
+                threads,
+                parallel_wall_s: par_wall,
+                parallel_sessions_per_sec: completed as f64 / par_wall,
+                parallel_p50_latency_ms: percentile_ms(&mut par_latencies, 0.50),
+                parallel_p99_latency_ms: percentile_ms(&mut par_latencies, 0.99),
+                speedup: seq_wall / conc_wall,
+                parallel_scaling: conc_wall / par_wall,
+                allocs_per_session,
+                steady_alloc_drift,
+                cache: cache.stats(),
+                reports_match,
+            }
+        })
+        .collect()
 }
 
 /// Runs the service benchmark over the sharded lazy substrate: sessions
 /// spread across paper-sized task windows of a `total_nodes` deployment
-/// at paper density. Each window is an independent batch for the
-/// parallel leg (regions are materialized before any timing starts).
+/// at paper density. Windows are processed one after another, each
+/// window's engine sharded across `threads` workers over one shared
+/// per-window cache — so the parallel budget no longer caps at the
+/// window count the way the old per-batch fan-out did (the super-batch
+/// regime), and misses inside a window are paid once, not once per
+/// worker.
 pub fn sharded_service_point(
     total_nodes: usize,
     windows: usize,
     sessions_total: usize,
     seed: u64,
+    threads: usize,
 ) -> ServicePoint {
     let shard_config = ShardConfig::paper_density(total_nodes, RADIO_RANGE);
     let area_side = shard_config.area.width();
@@ -347,7 +364,7 @@ pub fn sharded_service_point(
             let workload =
                 ServiceWorkload::random(&candidates, &params, &plan, seed ^ (w as u64 + 1));
             // The window's crashes are live in-simulation for every one of
-            // its sessions (see `paper_service_point`).
+            // its sessions (see `paper_scaling_curve`).
             let config = SimConfig::paper().with_faults(plan.clone());
             (w, plan, workload, config)
         })
@@ -371,7 +388,6 @@ pub fn sharded_service_point(
     let mut decisions = 0usize;
     let mut skipped_empty = 0usize;
     let mut latencies: Vec<f64> = Vec::new();
-    let mut cache = CacheStats::default();
     let mut reports_match = true;
     for (w, _, workload, config) in &setups {
         let mut router = GmpRouter::new();
@@ -382,7 +398,6 @@ pub fn sharded_service_point(
         decisions += run.decisions;
         skipped_empty += run.skipped_empty;
         latencies.extend(run.outcomes.iter().map(|o| o.latency_s));
-        cache = sum_cache(cache, router.cache_stats());
     }
     let conc_wall = t0.elapsed().as_secs_f64();
     assert_eq!(
@@ -393,19 +408,24 @@ pub fn sharded_service_point(
     let membership_updates: usize = setups.iter().map(|(_, _, w, _)| w.updates.len()).sum();
     let fault_crashes: usize = setups.iter().map(|(_, p, _, _)| crash_count(p)).sum();
 
-    // Parallel leg: one engine per window over the worker pool.
+    // Parallel leg: window after window, each window's wheel sharded
+    // across `threads` workers over one shared per-window cache.
     let t0 = Instant::now();
-    let batch_runs = parallel_map(setups, |(w, _, workload, config)| {
-        let mut router = GmpRouter::new();
+    let mut par_completed = 0usize;
+    let mut par_latencies: Vec<f64> = Vec::new();
+    let mut cache = CacheStats::default();
+    for (w, _, workload, config) in &setups {
+        let shared = Arc::new(ConcurrentTreeCache::with_config(CacheConfig::default()));
+        let factory = shared_router_factory(Arc::clone(&shared));
         let mut engine = SessionEngine::new(regions[*w].topology(), config);
-        engine.run(EngineProtocol::Shared(&mut router), workload)
-    });
-    let par_wall = t0.elapsed().as_secs_f64();
-    let par_completed: usize = batch_runs.iter().map(|r| r.outcomes.len()).sum();
-    assert_eq!(par_completed, completed, "parallel leg lost sessions");
-    for (w, run) in batch_runs.iter().enumerate() {
-        reports_match &= outcomes_match(&run.outcomes, &seq_reports[w]);
+        let par = engine.run_parallel(ParallelProtocol::PerWorker(&factory), workload, threads);
+        reports_match &= outcomes_match(&par.outcomes, &seq_reports[*w]);
+        par_completed += par.outcomes.len();
+        par_latencies.extend(par.outcomes.iter().map(|o| o.latency_s));
+        cache = sum_cache(cache, shared.stats());
     }
+    let par_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(par_completed, completed, "parallel leg lost sessions");
 
     ServicePoint {
         topology: format!("sharded-{}k", total_nodes / 1000),
@@ -422,10 +442,13 @@ pub fn sharded_service_point(
         decisions_per_sec: decisions as f64 / conc_wall,
         p50_latency_ms: percentile_ms(&mut latencies, 0.50),
         p99_latency_ms: percentile_ms(&mut latencies, 0.99),
-        parallel_batches: windows,
+        threads,
         parallel_wall_s: par_wall,
         parallel_sessions_per_sec: par_completed as f64 / par_wall,
+        parallel_p50_latency_ms: percentile_ms(&mut par_latencies, 0.50),
+        parallel_p99_latency_ms: percentile_ms(&mut par_latencies, 0.99),
         speedup: seq_wall / conc_wall,
+        parallel_scaling: conc_wall / par_wall,
         allocs_per_session: None,
         steady_alloc_drift: None,
         cache,
@@ -452,17 +475,26 @@ mod tests {
     use super::*;
 
     #[test]
-    fn paper_point_is_bit_identical_and_faster_shaped() {
-        let p = paper_service_point(64, 3, None);
-        assert!(
-            p.reports_match,
-            "concurrent reports diverged from solo runs"
-        );
-        assert_eq!(p.sessions + p.skipped_empty, 64);
-        assert!(p.sessions > 0);
-        assert!(p.membership_updates > 0);
-        assert!(p.fault_crashes > 0);
-        assert!(p.cache.hits + p.cache.misses > 0);
+    fn paper_curve_is_bit_identical_at_every_thread_count() {
+        let points = paper_scaling_curve(64, 3, None, &[1, 2]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(
+                p.reports_match,
+                "{} workers: engine reports diverged from solo runs",
+                p.threads
+            );
+            assert_eq!(p.sessions + p.skipped_empty, 64);
+            assert!(p.sessions > 0);
+            assert!(p.membership_updates > 0);
+            assert!(p.fault_crashes > 0);
+            assert!(p.cache.lookups() > 0, "shared cache saw no traffic");
+        }
+        assert_eq!(points[0].threads, 1);
+        assert_eq!(points[1].threads, 2);
+        // The sequential/concurrent legs are shared across the curve.
+        assert_eq!(points[0].sequential_wall_s, points[1].sequential_wall_s);
+        assert_eq!(points[0].concurrent_wall_s, points[1].concurrent_wall_s);
     }
 
     #[test]
@@ -474,19 +506,11 @@ mod tests {
     }
 
     #[test]
-    fn group_split_preserves_every_session() {
-        let config = SimConfig::paper();
-        let topo = Topology::random(&config.topology_config(), 1);
-        let candidates: Vec<NodeId> = (0..topo.len() as u32).map(NodeId).collect();
-        let params = WorkloadParams {
-            sessions: 40,
-            ..WorkloadParams::default()
-        };
-        let w = ServiceWorkload::random(&candidates, &params, &FaultPlan::none(), 9);
-        let parts = split_by_group(&w, 4);
-        let total: usize = parts.iter().map(|p| p.sessions.len()).sum();
-        assert_eq!(total, w.sessions.len());
-        let updates: usize = parts.iter().map(|p| p.updates.len()).sum();
-        assert_eq!(updates, w.updates.len());
+    fn zero_lookup_stats_yield_zero_rates() {
+        // A skipped/empty point must not poison a JSON gate with NaN.
+        let empty = CacheStats::default();
+        assert_eq!(empty.hit_rate(), 0.0);
+        let summed = sum_cache(empty, CacheStats::default());
+        assert_eq!(summed.hit_rate(), 0.0);
     }
 }

@@ -142,6 +142,59 @@ proptest! {
     }
 }
 
+/// The concurrent cache substituted for the private one: a
+/// [`gmp_core::ConcurrentTreeCache`] shared across the whole
+/// config × task matrix (including the faulted rounds, whose flipped
+/// liveness bits must be rejected by the exact-input check and served
+/// fresh) never changes a GMP report bit-for-bit against the cold
+/// private-cache router.
+#[test]
+fn shared_concurrent_cache_never_changes_reports() {
+    use std::sync::Arc;
+
+    use gmp_core::{CacheConfig, ConcurrentTreeCache};
+
+    let node_count = 300;
+    let seed_config = SimConfig::paper().with_node_count(node_count);
+    let topo = Topology::random(&seed_config.topology_config(), 11);
+    let tasks: Vec<MulticastTask> = (0..3)
+        .map(|i| MulticastTask::random(&topo, 4 + 3 * i as usize, 400 + i))
+        .collect();
+
+    let cache = Arc::new(ConcurrentTreeCache::with_config(CacheConfig::default()));
+    let mut cold_scratch = SimScratch::new();
+    let mut warm_scratch = SimScratch::new();
+    // Two passes over the matrix: the second replays every task against a
+    // cache fully populated by the first, so warm hits (not just misses)
+    // are compared against the cold router.
+    for pass in 0..2 {
+        for (config_name, config) in configs(node_count) {
+            let runner = TaskRunner::new(&topo, &config);
+            for (task_i, task) in tasks.iter().enumerate() {
+                let mut cold = GmpRouter::new();
+                let cold_report = runner.run_with_scratch(&mut cold, task, 3, &mut cold_scratch);
+                let mut shared = GmpRouter::with_shared_cache(Arc::clone(&cache));
+                let shared_report =
+                    runner.run_with_scratch(&mut shared, task, 3, &mut warm_scratch);
+                assert_bit_identical(
+                    &cold_report,
+                    &shared_report,
+                    &format!("concurrent cache, pass {pass} config {config_name} task {task_i}"),
+                );
+            }
+        }
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hits > 0,
+        "second pass must be served from the shared cache: {stats:?}"
+    );
+    assert_eq!(
+        stats.fallbacks, 0,
+        "exact verification must never fail: {stats:?}"
+    );
+}
+
 #[test]
 fn populated_cache_parity_holds_under_paranoid_mode() {
     // With GMP_CACHE_PARANOID every warm hit recomputes the decision and

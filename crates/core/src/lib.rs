@@ -42,7 +42,7 @@ pub mod geocast;
 pub mod grouping;
 pub mod router;
 
-pub use cache::{CacheConfig, CacheStats, TreeCache};
+pub use cache::{CacheConfig, CacheStats, ConcurrentTreeCache, TreeCache};
 pub use geocast::GmpGeocast;
 pub use grouping::{group_destinations, CoveredGroup, DecisionScratch, Grouping};
 pub use router::{GmpConfig, GmpRouter};

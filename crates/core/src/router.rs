@@ -1,11 +1,13 @@
 //! The GMP forwarding engine (Figure 7 + the Section 4.1 void handling).
 
+use std::sync::Arc;
+
 use gmp_geom::Point;
 use gmp_net::face::perimeter_next_hop;
 use gmp_net::PerimeterState;
 use gmp_sim::{Forward, MulticastPacket, NodeContext, Protocol, RoutingState};
 
-use crate::cache::{CacheStats, TreeCache};
+use crate::cache::{CacheStats, ConcurrentTreeCache, TreeCache};
 use crate::grouping::{DecisionScratch, Grouping};
 
 /// Configuration of the GMP router.
@@ -44,7 +46,24 @@ impl Default for GmpConfig {
 pub struct GmpRouter {
     config: GmpConfig,
     scratch: DecisionScratch,
-    cache: TreeCache,
+    cache: CacheBackend,
+}
+
+/// The router's decision memo: a private per-router [`TreeCache`] (the
+/// default), or a handle to a [`ConcurrentTreeCache`] shared with other
+/// routers — typically one per engine worker thread. The two backends
+/// serve bit-identical groupings (both verify every served entry against
+/// exact inputs), so which one a router carries never shows in a report.
+#[derive(Debug, Clone)]
+enum CacheBackend {
+    Private(TreeCache),
+    Shared(Arc<ConcurrentTreeCache>),
+}
+
+impl Default for CacheBackend {
+    fn default() -> Self {
+        CacheBackend::Private(TreeCache::new())
+    }
 }
 
 impl GmpRouter {
@@ -66,7 +85,26 @@ impl GmpRouter {
         GmpRouter {
             config,
             scratch: DecisionScratch::new(),
-            cache: TreeCache::new(),
+            cache: CacheBackend::default(),
+        }
+    }
+
+    /// The full protocol backed by a decision cache shared with other
+    /// routers (one warm cache across all engine workers instead of N
+    /// cold private ones).
+    pub fn with_shared_cache(cache: Arc<ConcurrentTreeCache>) -> Self {
+        GmpRouter::with_config_and_shared_cache(GmpConfig::default(), cache)
+    }
+
+    /// [`GmpRouter::with_config`] backed by a shared decision cache.
+    pub fn with_config_and_shared_cache(
+        config: GmpConfig,
+        cache: Arc<ConcurrentTreeCache>,
+    ) -> Self {
+        GmpRouter {
+            config,
+            scratch: DecisionScratch::new(),
+            cache: CacheBackend::Shared(cache),
         }
     }
 
@@ -76,9 +114,13 @@ impl GmpRouter {
     }
 
     /// Decision-cache behaviour counters (hits, misses, fallbacks,
-    /// evictions) accumulated over this router's lifetime.
+    /// evictions) accumulated over this router's lifetime — or over the
+    /// whole shared cache's lifetime when one is attached.
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        match &self.cache {
+            CacheBackend::Private(cache) => cache.stats(),
+            CacheBackend::Shared(cache) => cache.stats(),
+        }
     }
 }
 
@@ -183,15 +225,26 @@ impl Protocol for GmpRouter {
         // perimeter packet the exit must also beat the entry point's total
         // distance (GPSR's progress rule), or the packet would bounce
         // straight back into the void.
-        self.cache.group_destinations_cached(
-            &mut self.scratch,
-            ctx.topo,
-            ctx.node,
-            &packet.dests,
-            self.config.radio_range_aware,
-            prior.map(|p| p.entry),
-            ctx.alive,
-        );
+        match &mut self.cache {
+            CacheBackend::Private(cache) => cache.group_destinations_cached(
+                &mut self.scratch,
+                ctx.topo,
+                ctx.node,
+                &packet.dests,
+                self.config.radio_range_aware,
+                prior.map(|p| p.entry),
+                ctx.alive,
+            ),
+            CacheBackend::Shared(cache) => cache.group_destinations_cached(
+                &mut self.scratch,
+                ctx.topo,
+                ctx.node,
+                &packet.dests,
+                self.config.radio_range_aware,
+                prior.map(|p| p.entry),
+                ctx.alive,
+            ),
+        };
         emit(
             self.config,
             ctx,
@@ -383,6 +436,34 @@ mod tests {
         );
         assert!(report.delivery_hops.contains_key(&NodeId(17)));
         assert!(!report.truncated);
+    }
+
+    #[test]
+    fn shared_cache_router_matches_private_bit_for_bit() {
+        let config = SimConfig::paper().with_node_count(400);
+        let topo = Topology::random(&config.topology_config(), 21);
+        let shared = Arc::new(ConcurrentTreeCache::with_config(
+            crate::cache::CacheConfig::default(),
+        ));
+        for seed in 0..6u64 {
+            let task = MulticastTask::random(&topo, 12, seed);
+            let private = run(&topo, &config, &mut GmpRouter::new(), &task);
+            let mut router = GmpRouter::with_shared_cache(Arc::clone(&shared));
+            let with_shared = run(&topo, &config, &mut router, &task);
+            assert_eq!(private, with_shared, "seed {seed}");
+        }
+        let cold = shared.stats();
+        assert!(cold.lookups() > 0);
+        // A second router over the same tasks rides the warm shared
+        // cache: no new publishes, hits only.
+        for seed in 0..6u64 {
+            let task = MulticastTask::random(&topo, 12, seed);
+            let mut router = GmpRouter::with_shared_cache(Arc::clone(&shared));
+            run(&topo, &config, &mut router, &task);
+        }
+        let warm = shared.stats();
+        assert_eq!(warm.misses, cold.misses, "warm replay must not publish");
+        assert!(warm.hits > cold.hits);
     }
 
     #[test]

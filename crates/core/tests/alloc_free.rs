@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use gmp_core::{CacheConfig, DecisionScratch, TreeCache};
+use gmp_core::{CacheConfig, ConcurrentTreeCache, DecisionScratch, TreeCache};
 use gmp_net::Topology;
 use gmp_sim::{MulticastTask, SimConfig};
 
@@ -131,6 +131,87 @@ fn steady_state_decisions_do_not_allocate() {
         after - before,
         0,
         "steady-state cached decisions performed {} heap allocations",
+        after - before
+    );
+
+    // Same contract again for the thread-shared cache, warmed *under
+    // concurrency*: two racing workers publish the whole workload (their
+    // publishes and lost set() races may allocate — that's warm-up), after
+    // which every slot fill is final. The measured pass then takes the
+    // lock-free get-verify-serve path exclusively: zero allocations, same
+    // as the private cache. This is the property BENCH_5's
+    // steady_alloc_drift certificate rides on.
+    let shared = ConcurrentTreeCache::with_config(CacheConfig::default());
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let shared = &shared;
+            let tasks = &tasks;
+            let topo = &topo;
+            scope.spawn(move || {
+                let mut worker_scratch = DecisionScratch::new();
+                for t in tasks {
+                    for &rra in &[true, false] {
+                        shared.group_destinations_cached(
+                            &mut worker_scratch,
+                            topo,
+                            t.source,
+                            &t.dests,
+                            rra,
+                            None,
+                            None,
+                        );
+                    }
+                }
+            });
+        }
+    });
+    // One settling pass on the measuring thread's scratch.
+    for t in &tasks {
+        for &rra in &[true, false] {
+            shared.group_destinations_cached(
+                &mut scratch,
+                &topo,
+                t.source,
+                &t.dests,
+                rra,
+                None,
+                None,
+            );
+        }
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut shared_output = 0usize;
+    for t in &tasks {
+        for &rra in &[true, false] {
+            let g = shared.group_destinations_cached(
+                &mut scratch,
+                &topo,
+                t.source,
+                &t.dests,
+                rra,
+                None,
+                None,
+            );
+            shared_output += usize::from(!g.covered.is_empty() || !g.voids.is_empty());
+        }
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert!(
+        shared_output > 0,
+        "shared-cache workload produced no decisions"
+    );
+    let stats = shared.stats();
+    assert_eq!(
+        stats.fallbacks, 0,
+        "static workload must never fail verification"
+    );
+    assert!(stats.hits > 0, "measured pass must be served: {stats:?}");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state shared-cache lookups performed {} heap allocations",
         after - before
     );
 }

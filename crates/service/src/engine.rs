@@ -25,6 +25,23 @@
 //! bounds peak scratch memory). Membership is snapshotted at the
 //! session's *scheduled* `start_s` via [`MembershipClock`], so admission
 //! back-pressure never changes what a session multicasts to.
+//!
+//! # Parallel execution
+//!
+//! [`SessionEngine::run_parallel`] shards the event wheel across a pool
+//! of worker threads: worker `w` of `n` owns the sessions at indices
+//! `w, w+n, w+2n, …` of the workload and drives them through its own
+//! copy of the wheel loop, with a private [`MembershipClock`] replay
+//! (the strided subset stays sorted by `start_s`, so replay yields the
+//! same snapshots the global clock would), private scratch, and a
+//! per-worker or per-session protocol. Because each session's outcome
+//! is a pure function of `(task, seed)` — the solo-parity invariant
+//! above — the partition cannot change any report; results merge by
+//! session id into the same order `run` produces. The partition is
+//! *static* rather than work-stealing: a racy claim order would let OS
+//! scheduling decide which worker's scratch grows to which high-water
+//! mark, breaking the steady-state zero-allocation certificate that
+//! BENCH_5 gates on (see DESIGN.md, "Concurrency model").
 
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -33,7 +50,7 @@ use gmp_groups::GroupId;
 use gmp_net::{NodeId, Topology};
 use gmp_sim::{MulticastTask, Protocol, Session, SimConfig, SimScratch, TaskReport, TaskRunner};
 
-use crate::workload::{MembershipClock, ServiceWorkload};
+use crate::workload::{MembershipClock, ServiceWorkload, SessionSpec};
 
 /// Engine knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +85,32 @@ impl std::fmt::Debug for EngineProtocol<'_> {
         match self {
             EngineProtocol::Shared(_) => f.write_str("EngineProtocol::Shared"),
             EngineProtocol::PerSession(_) => f.write_str("EngineProtocol::PerSession"),
+        }
+    }
+}
+
+/// How [`SessionEngine::run_parallel`] workers obtain protocols.
+///
+/// [`Protocol`] has no `Send` bound, so instances cannot cross threads;
+/// instead a `Sync` factory is shared and every instance is constructed
+/// inside the worker that will use it. To share one decision cache
+/// across workers, close over an `Arc<gmp_core::ConcurrentTreeCache>`
+/// and hand each router a clone of the handle.
+#[derive(Clone, Copy)]
+pub enum ParallelProtocol<'p> {
+    /// One fresh instance per worker, shared by that worker's sessions
+    /// (the parallel analogue of [`EngineProtocol::Shared`]).
+    PerWorker(&'p (dyn Fn() -> Box<dyn Protocol> + Sync)),
+    /// A fresh instance per session (for task-stateful protocols, the
+    /// analogue of [`EngineProtocol::PerSession`]).
+    PerSession(&'p (dyn Fn() -> Box<dyn Protocol> + Sync)),
+}
+
+impl std::fmt::Debug for ParallelProtocol<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelProtocol::PerWorker(_) => f.write_str("ParallelProtocol::PerWorker"),
+            ParallelProtocol::PerSession(_) => f.write_str("ParallelProtocol::PerSession"),
         }
     }
 }
@@ -193,141 +236,223 @@ impl<'a> SessionEngine<'a> {
     ///
     /// Returns one [`SessionOutcome`] per non-empty session, sorted by
     /// session id.
-    pub fn run(
+    pub fn run(&mut self, protocol: EngineProtocol<'_>, workload: &ServiceWorkload) -> ServiceRun {
+        let mut run = run_shard(
+            self.topo,
+            self.config,
+            self.service.max_in_flight,
+            protocol,
+            workload,
+            &workload.sessions,
+            &mut self.pool,
+        );
+        run.outcomes.sort_by_key(|o| o.id);
+        run
+    }
+
+    /// [`run`](SessionEngine::run) sharded over `threads` worker
+    /// threads (see the module docs, *Parallel execution*).
+    ///
+    /// Every session's report is bit-identical to what `run` — or a
+    /// solo [`TaskRunner::run_seeded`] — produces, independent of
+    /// `threads`; the outcomes are returned in the same id order. The
+    /// engine's scratch pool is split round-robin across workers and
+    /// re-collected afterwards, so a warmed engine stays warm across
+    /// parallel runs at the same worker count.
+    pub fn run_parallel(
         &mut self,
-        mut protocol: EngineProtocol<'_>,
+        protocol: ParallelProtocol<'_>,
         workload: &ServiceWorkload,
+        threads: usize,
     ) -> ServiceRun {
-        let runner = TaskRunner::new(self.topo, self.config);
-        let specs = &workload.sessions;
-        let mut clock = MembershipClock::new();
-        let mut dests: Vec<NodeId> = Vec::new();
+        assert!(threads >= 1, "at least one worker thread");
+        let mut shards: Vec<Vec<SessionSpec>> = vec![Vec::new(); threads];
+        for (i, spec) in workload.sessions.iter().enumerate() {
+            shards[i % threads].push(*spec);
+        }
+        let mut pools: Vec<Vec<SimScratch>> = Vec::with_capacity(threads);
+        pools.resize_with(threads, Vec::new);
+        for (i, scratch) in self.pool.drain(..).enumerate() {
+            pools[i % threads].push(scratch);
+        }
+        // Each worker gets an equal share of the admission budget (at
+        // least one slot), so total peak scratch stays bounded by
+        // `max_in_flight` plus rounding.
+        let per_worker = (self.service.max_in_flight / threads).max(1);
 
-        let mut wheel: BinaryHeap<WheelEntry> =
-            BinaryHeap::with_capacity(self.service.max_in_flight.min(specs.len().max(1)));
-        let mut slots: Vec<Option<Active<'a>>> = Vec::new();
-        let mut free_slots: Vec<usize> = Vec::new();
-        let mut in_flight = 0usize;
-        let mut admit_seq = 0u64;
-        let mut next_spec = 0usize;
+        let topo = self.topo;
+        let config = self.config;
+        let factory: &(dyn Fn() -> Box<dyn Protocol> + Sync) = match protocol {
+            ParallelProtocol::PerWorker(f) | ParallelProtocol::PerSession(f) => f,
+        };
+        let per_session = matches!(protocol, ParallelProtocol::PerSession(_));
 
-        let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(specs.len());
-        let mut skipped_empty = 0usize;
-        let mut scratch_reuses = 0usize;
-        let mut decisions_total = 0usize;
+        let mut results: Vec<(ServiceRun, Vec<SimScratch>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .zip(pools)
+                .map(|(shard, mut pool)| {
+                    scope.spawn(move || {
+                        // Protocols are created inside the worker:
+                        // `Protocol` is not `Send`, only the factory
+                        // crosses threads.
+                        let run = if per_session {
+                            let mut make = || factory();
+                            run_shard(
+                                topo,
+                                config,
+                                per_worker,
+                                EngineProtocol::PerSession(&mut make),
+                                workload,
+                                shard,
+                                &mut pool,
+                            )
+                        } else {
+                            let mut own = factory();
+                            run_shard(
+                                topo,
+                                config,
+                                per_worker,
+                                EngineProtocol::Shared(own.as_mut()),
+                                workload,
+                                shard,
+                                &mut pool,
+                            )
+                        };
+                        (run, pool)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
 
-        loop {
-            // Admit every spec that is due (arrival at or before the
-            // wheel head — or unconditionally when nothing is in flight)
-            // while a slot is free.
-            while next_spec < specs.len()
-                && in_flight < self.service.max_in_flight
-                && wheel
-                    .peek()
-                    .is_none_or(|head| specs[next_spec].start_s <= head.global_t)
-            {
-                let spec = specs[next_spec];
-                next_spec += 1;
-                clock.advance_to(&workload.updates, spec.start_s);
-                let Some(task) = workload.snapshot_task(&clock, spec.group, &mut dests) else {
-                    skipped_empty += 1;
-                    continue;
-                };
+        let mut merged = ServiceRun {
+            outcomes: Vec::with_capacity(workload.sessions.len()),
+            skipped_empty: 0,
+            scratch_reuses: 0,
+            decisions: 0,
+        };
+        for (run, pool) in &mut results {
+            merged.outcomes.append(&mut run.outcomes);
+            merged.skipped_empty += run.skipped_empty;
+            merged.scratch_reuses += run.scratch_reuses;
+            merged.decisions += run.decisions;
+            self.pool.append(pool);
+        }
+        merged.outcomes.sort_by_key(|o| o.id);
+        merged
+    }
 
-                let scratch = match self.pool.pop() {
-                    Some(s) => {
-                        scratch_reuses += 1;
-                        s
-                    }
-                    None => SimScratch::new(),
-                };
-                let mut own = match &mut protocol {
-                    EngineProtocol::Shared(_) => None,
-                    EngineProtocol::PerSession(factory) => Some(factory()),
-                };
-                let session = {
-                    let p = borrow_protocol(&mut protocol, &mut own);
-                    Session::begin(runner, p, &task, spec.seed, scratch)
-                };
-                let active = Active {
-                    id: spec.id,
-                    group: spec.group,
-                    start_s: spec.start_s,
-                    seed: spec.seed,
-                    task,
-                    session,
-                    protocol: own,
-                    admitted: Instant::now(),
-                };
-                let slot = match free_slots.pop() {
-                    Some(i) => {
-                        slots[i] = Some(active);
-                        i
-                    }
-                    None => {
-                        slots.push(Some(active));
-                        slots.len() - 1
-                    }
-                };
-                in_flight += 1;
-                let seq = admit_seq;
-                admit_seq += 1;
+    /// Scratch buffers currently pooled (idle).
+    pub fn pooled_scratches(&self) -> usize {
+        self.pool.len()
+    }
+}
 
-                match slots[slot].as_ref().and_then(|a| a.session.next_time()) {
-                    Some(t) => wheel.push(WheelEntry {
-                        global_t: spec.start_s + t,
-                        seq,
-                        slot,
-                    }),
-                    // A session whose initial transmit already drained the
-                    // queue (e.g. an unreachable source) completes at once.
-                    None => {
-                        finalize(
-                            &mut slots,
-                            slot,
-                            &mut self.pool,
-                            &mut free_slots,
-                            &mut in_flight,
-                            &mut outcomes,
-                            &mut decisions_total,
-                        );
-                    }
-                }
-            }
+/// Runs one shard of session specs through the event-wheel loop.
+///
+/// This is the whole engine for a single thread: [`SessionEngine::run`]
+/// calls it with every spec, [`SessionEngine::run_parallel`] with each
+/// worker's strided subset. `specs` must be sorted by `start_s` (any
+/// subsequence of a workload's session list is), so the shard-local
+/// [`MembershipClock`] replay snapshots exactly what the global clock
+/// would. Outcomes are returned in completion order.
+fn run_shard<'a>(
+    topo: &'a Topology,
+    config: &'a SimConfig,
+    max_in_flight: usize,
+    mut protocol: EngineProtocol<'_>,
+    workload: &ServiceWorkload,
+    specs: &[SessionSpec],
+    pool: &mut Vec<SimScratch>,
+) -> ServiceRun {
+    let runner = TaskRunner::new(topo, config);
+    let mut clock = MembershipClock::new();
+    let mut dests: Vec<NodeId> = Vec::new();
 
-            let Some(head) = wheel.pop() else {
-                if next_spec >= specs.len() {
-                    break;
-                }
-                // Nothing in flight (an empty wheel implies that) but
-                // specs remain: loop back and admit them.
+    let mut wheel: BinaryHeap<WheelEntry> =
+        BinaryHeap::with_capacity(max_in_flight.min(specs.len().max(1)));
+    let mut slots: Vec<Option<Active<'a>>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut in_flight = 0usize;
+    let mut admit_seq = 0u64;
+    let mut next_spec = 0usize;
+
+    let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(specs.len());
+    let mut skipped_empty = 0usize;
+    let mut scratch_reuses = 0usize;
+    let mut decisions_total = 0usize;
+
+    loop {
+        // Admit every spec that is due (arrival at or before the
+        // wheel head — or unconditionally when nothing is in flight)
+        // while a slot is free.
+        while next_spec < specs.len()
+            && in_flight < max_in_flight
+            && wheel
+                .peek()
+                .is_none_or(|head| specs[next_spec].start_s <= head.global_t)
+        {
+            let spec = specs[next_spec];
+            next_spec += 1;
+            clock.advance_to(&workload.updates, spec.start_s);
+            let Some(task) = workload.snapshot_task(&clock, spec.group, &mut dests) else {
+                skipped_empty += 1;
                 continue;
             };
 
-            {
-                let active = slots[head.slot]
-                    .as_mut()
-                    .expect("wheel entry points at a live session");
-                let p = borrow_protocol(&mut protocol, &mut active.protocol);
-                active.session.step(p);
-            }
-            let next = slots[head.slot]
-                .as_ref()
-                .and_then(|a| a.session.next_time());
-            match next {
-                Some(t) => {
-                    let start_s = slots[head.slot].as_ref().unwrap().start_s;
-                    wheel.push(WheelEntry {
-                        global_t: start_s + t,
-                        seq: head.seq,
-                        slot: head.slot,
-                    });
+            let scratch = match pool.pop() {
+                Some(s) => {
+                    scratch_reuses += 1;
+                    s
                 }
+                None => SimScratch::new(),
+            };
+            let mut own = match &mut protocol {
+                EngineProtocol::Shared(_) => None,
+                EngineProtocol::PerSession(factory) => Some(factory()),
+            };
+            let session = {
+                let p = borrow_protocol(&mut protocol, &mut own);
+                Session::begin(runner, p, &task, spec.seed, scratch)
+            };
+            let active = Active {
+                id: spec.id,
+                group: spec.group,
+                start_s: spec.start_s,
+                seed: spec.seed,
+                task,
+                session,
+                protocol: own,
+                admitted: Instant::now(),
+            };
+            let slot = match free_slots.pop() {
+                Some(i) => {
+                    slots[i] = Some(active);
+                    i
+                }
+                None => {
+                    slots.push(Some(active));
+                    slots.len() - 1
+                }
+            };
+            in_flight += 1;
+            let seq = admit_seq;
+            admit_seq += 1;
+
+            match slots[slot].as_ref().and_then(|a| a.session.next_time()) {
+                Some(t) => wheel.push(WheelEntry {
+                    global_t: spec.start_s + t,
+                    seq,
+                    slot,
+                }),
+                // A session whose initial transmit already drained the
+                // queue (e.g. an unreachable source) completes at once.
                 None => {
                     finalize(
                         &mut slots,
-                        head.slot,
-                        &mut self.pool,
+                        slot,
+                        pool,
                         &mut free_slots,
                         &mut in_flight,
                         &mut outcomes,
@@ -337,19 +462,54 @@ impl<'a> SessionEngine<'a> {
             }
         }
 
-        debug_assert_eq!(in_flight, 0, "all sessions must drain");
-        outcomes.sort_by_key(|o| o.id);
-        ServiceRun {
-            outcomes,
-            skipped_empty,
-            scratch_reuses,
-            decisions: decisions_total,
+        let Some(head) = wheel.pop() else {
+            if next_spec >= specs.len() {
+                break;
+            }
+            // Nothing in flight (an empty wheel implies that) but
+            // specs remain: loop back and admit them.
+            continue;
+        };
+
+        {
+            let active = slots[head.slot]
+                .as_mut()
+                .expect("wheel entry points at a live session");
+            let p = borrow_protocol(&mut protocol, &mut active.protocol);
+            active.session.step(p);
+        }
+        let next = slots[head.slot]
+            .as_ref()
+            .and_then(|a| a.session.next_time());
+        match next {
+            Some(t) => {
+                let start_s = slots[head.slot].as_ref().unwrap().start_s;
+                wheel.push(WheelEntry {
+                    global_t: start_s + t,
+                    seq: head.seq,
+                    slot: head.slot,
+                });
+            }
+            None => {
+                finalize(
+                    &mut slots,
+                    head.slot,
+                    pool,
+                    &mut free_slots,
+                    &mut in_flight,
+                    &mut outcomes,
+                    &mut decisions_total,
+                );
+            }
         }
     }
 
-    /// Scratch buffers currently pooled (idle).
-    pub fn pooled_scratches(&self) -> usize {
-        self.pool.len()
+    debug_assert_eq!(in_flight, 0, "all sessions must drain");
+    ServiceRun {
+        outcomes,
+        skipped_empty,
+        scratch_reuses,
+        decisions: decisions_total,
     }
 }
 

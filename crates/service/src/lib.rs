@@ -22,7 +22,9 @@
 pub mod engine;
 pub mod workload;
 
-pub use engine::{EngineProtocol, ServiceConfig, ServiceRun, SessionEngine, SessionOutcome};
+pub use engine::{
+    EngineProtocol, ParallelProtocol, ServiceConfig, ServiceRun, SessionEngine, SessionOutcome,
+};
 pub use workload::{
     GroupSpec, MembershipClock, ServiceWorkload, SessionSpec, TimedUpdate, WorkloadParams,
 };
@@ -150,6 +152,78 @@ mod tests {
         for (a, b) in run.outcomes.iter().zip(&shared_run.outcomes) {
             assert_eq!(a.report, b.report);
         }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_engine_across_thread_counts() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 48, 33);
+        let mut router = GmpRouter::default();
+        let mut engine = SessionEngine::new(&topo, &config);
+        let reference = engine.run(EngineProtocol::Shared(&mut router), &w);
+        assert!(!reference.outcomes.is_empty());
+
+        let shared = std::sync::Arc::new(gmp_core::ConcurrentTreeCache::with_config(
+            gmp_core::CacheConfig::default(),
+        ));
+        for threads in [1usize, 2, 4, 8] {
+            let cache = std::sync::Arc::clone(&shared);
+            let factory = move || {
+                Box::new(GmpRouter::with_shared_cache(std::sync::Arc::clone(&cache)))
+                    as Box<dyn gmp_sim::Protocol>
+            };
+            let mut par_engine = SessionEngine::new(&topo, &config);
+            let run = par_engine.run_parallel(ParallelProtocol::PerWorker(&factory), &w, threads);
+            assert_eq!(
+                run.outcomes.len(),
+                reference.outcomes.len(),
+                "{threads} workers"
+            );
+            assert_eq!(run.skipped_empty, reference.skipped_empty);
+            assert_eq!(run.decisions, reference.decisions);
+            for (a, b) in run.outcomes.iter().zip(&reference.outcomes) {
+                assert_eq!(a.id, b.id, "{threads} workers");
+                assert_eq!(a.task, b.task, "{threads} workers");
+                assert_eq!(
+                    a.report, b.report,
+                    "session {} diverged at {} workers",
+                    a.id, threads
+                );
+            }
+        }
+        assert!(shared.stats().hits > 0, "workers must share warm decisions");
+    }
+
+    #[test]
+    fn parallel_per_session_matches_per_worker() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 24, 9);
+        let factory = || Box::new(GmpRouter::default()) as Box<dyn gmp_sim::Protocol>;
+        let mut engine = SessionEngine::new(&topo, &config);
+        let per_worker = engine.run_parallel(ParallelProtocol::PerWorker(&factory), &w, 3);
+        let per_session = engine.run_parallel(ParallelProtocol::PerSession(&factory), &w, 3);
+        assert_eq!(per_worker.outcomes.len(), per_session.outcomes.len());
+        for (a, b) in per_worker.outcomes.iter().zip(&per_session.outcomes) {
+            assert_eq!(a.report, b.report);
+        }
+    }
+
+    #[test]
+    fn parallel_pool_stays_warm_across_runs() {
+        let (topo, config) = paper_setup();
+        let w = workload(&topo, 32, 2);
+        let factory = || Box::new(GmpRouter::default()) as Box<dyn gmp_sim::Protocol>;
+        let mut engine =
+            SessionEngine::with_service(&topo, &config, ServiceConfig { max_in_flight: 8 });
+        engine.run_parallel(ParallelProtocol::PerWorker(&factory), &w, 4);
+        let pooled = engine.pooled_scratches();
+        assert!(pooled >= 1, "workers must return scratches to the pool");
+        assert!(pooled <= 8, "pool bounded by the admission budget");
+        // A warmed engine re-run at the same worker count allocates no
+        // new scratches: every admission reuses a pooled one.
+        let second = engine.run_parallel(ParallelProtocol::PerWorker(&factory), &w, 4);
+        assert_eq!(second.scratch_reuses, second.outcomes.len());
+        assert_eq!(engine.pooled_scratches(), pooled);
     }
 
     #[test]
