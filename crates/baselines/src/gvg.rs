@@ -1,0 +1,173 @@
+//! GVG: greedy multicast with guaranteed void traversal (arXiv:0803.3632).
+//!
+//! The GVG line of work routes around voids by walking the boundary
+//! graph of the void itself. On a planarized unit-disk graph the void
+//! boundary *is* a face, so the same FACE-1 engine applies: greedy
+//! forwarding until a local minimum, then a single counterclockwise
+//! FACE-1 traversal of the void boundary until a node strictly closer
+//! than the stall point promotes the packet back to greedy. Compared to
+//! MCFR this spends no duplicate transmissions — the trade is worst-case
+//! detour length (the lone agent may take the long way around). Delivery
+//! on connected topologies is still guaranteed, and machine-checked by
+//! the certificate proptests in `gmp-bench`.
+
+use gmp_sim::{Forward, MulticastPacket, NodeContext, Protocol};
+
+use crate::facecore::FaceMulticast;
+
+/// Greedy multicast with single-agent void traversal.
+#[derive(Debug)]
+pub struct GvgRouter {
+    core: FaceMulticast,
+}
+
+impl GvgRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        GvgRouter {
+            core: FaceMulticast::new(false),
+        }
+    }
+}
+
+impl Default for GvgRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for GvgRouter {
+    fn name(&self) -> String {
+        "GVG".into()
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
+        self.core.on_packet(ctx, packet, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::McfrRouter;
+    use gmp_net::topology::{Hole, Topology, TopologyConfig};
+    use gmp_net::NodeId;
+    use gmp_sim::{FaultPlan, MulticastTask, Protocol, SimConfig, TaskRunner};
+
+    #[test]
+    fn delivers_on_dense_random_networks() {
+        let config = SimConfig::paper().with_node_count(500);
+        let topo = Topology::random(&config.topology_config(), 42);
+        for seed in 0..5u64 {
+            let task = MulticastTask::random(&topo, 10, seed);
+            let report = TaskRunner::new(&topo, &config).run(&mut GvgRouter::new(), &task);
+            assert!(
+                report.delivered_all(),
+                "seed {seed}: {:?}",
+                report.failed_dests
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_around_voids_with_a_single_agent() {
+        let tconfig = TopologyConfig::new(800.0, 450, 150.0).with_hole(Hole::Circle {
+            center: gmp_geom::Point::new(400.0, 400.0),
+            radius: 200.0,
+        });
+        let topo = Topology::random(&tconfig, 3);
+        assert!(topo.is_connected());
+        let config = SimConfig::paper()
+            .with_area_side(800.0)
+            .with_node_count(450)
+            .with_max_path_hops(2000);
+        let near = |p: gmp_geom::Point| {
+            topo.nodes()
+                .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
+                .unwrap()
+                .id
+        };
+        let source = near(gmp_geom::Point::new(50.0, 400.0));
+        let dest = near(gmp_geom::Point::new(750.0, 400.0));
+        let task = MulticastTask::new(source, vec![dest]);
+        let report = TaskRunner::new(&topo, &config).run(&mut GvgRouter::new(), &task);
+        assert!(report.delivered_all(), "{:?}", report.failed_dests);
+
+        // The single agent must not out-spend MCFR's duplicate pair on
+        // the same task.
+        let mcfr = TaskRunner::new(&topo, &config).run(&mut McfrRouter::new(), &task);
+        assert!(
+            report.transmissions <= mcfr.transmissions,
+            "GVG {} vs MCFR {}",
+            report.transmissions,
+            mcfr.transmissions
+        );
+    }
+
+    #[test]
+    fn unreachable_island_fails_without_truncation() {
+        let mut positions: Vec<gmp_geom::Point> = (0..20)
+            .map(|i| gmp_geom::Point::new((i % 5) as f64 * 100.0, (i / 5) as f64 * 100.0))
+            .collect();
+        positions.push(gmp_geom::Point::new(3000.0, 3000.0));
+        let topo = Topology::from_positions(positions, gmp_geom::Aabb::square(4000.0), 150.0);
+        let config = SimConfig::paper().with_node_count(21);
+        let task = MulticastTask::new(NodeId(0), vec![NodeId(20)]);
+        let report = TaskRunner::new(&topo, &config).run(&mut GvgRouter::new(), &task);
+        assert_eq!(
+            report.failed_dests,
+            vec![gmp_sim::FailedDest::new(
+                NodeId(20),
+                gmp_sim::FailureCause::Disconnected
+            )]
+        );
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn zero_unjustified_failures_under_crashes() {
+        let config = SimConfig::paper()
+            .with_node_count(400)
+            .with_max_path_hops(4000);
+        let topo = Topology::random(&config.topology_config(), 11);
+        for seed in 0..4u64 {
+            let plan = FaultPlan::random_crashes(topo.len(), 0.15, 0.0, 900 + seed);
+            let config = config.clone().with_faults(plan);
+            let task = MulticastTask::random(&topo, 8, seed);
+            let report = TaskRunner::new(&topo, &config).run(&mut GvgRouter::new(), &task);
+            assert_eq!(
+                report.unjustified_failures().count(),
+                0,
+                "seed {seed}: {:?}",
+                report.failed_dests
+            );
+            assert!(!report.truncated, "seed {seed} hit the event/hop budget");
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_across_scratch_reuse() {
+        // Re-running the same task through one router instance must give
+        // bit-identical reports: the shared FaceScratch carries no state
+        // between decisions.
+        let config = SimConfig::paper().with_node_count(300);
+        let topo = Topology::random(&config.topology_config(), 5);
+        let task = MulticastTask::random(&topo, 12, 9);
+        let runner = TaskRunner::new(&topo, &config);
+        let mut router = GvgRouter::new();
+        let a = runner.run(&mut router, &task);
+        let b = runner.run(&mut router, &task);
+        assert_eq!(a, b);
+        let mut mcfr = McfrRouter::new();
+        let a = runner.run(&mut mcfr, &task);
+        let b = runner.run(&mut mcfr, &task);
+        assert_eq!(a, b);
+        assert_eq!(mcfr.name(), "MCFR");
+        assert_eq!(router.name(), "GVG");
+    }
+}

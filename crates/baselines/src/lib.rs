@@ -19,6 +19,11 @@
 //! * [`smt::SmtRouter`] — the centralized Steiner heuristic \[16\]: the
 //!   source knows the whole topology, computes a KMB tree, and embeds the
 //!   explicit routing tree in the packet.
+//! * [`mcfr::McfrRouter`] — concurrent face routing multicast
+//!   (arXiv:1706.05263): guaranteed delivery via racing left/right FACE-1
+//!   traversals per stalled destination.
+//! * [`gvg::GvgRouter`] — greedy multicast with GVG-style void traversal
+//!   (arXiv:0803.3632): guaranteed delivery via a single FACE-1 agent.
 //!
 //! All of them implement [`gmp_sim::Protocol`], so experiments treat them
 //! and GMP uniformly.
@@ -28,16 +33,21 @@
 #![warn(missing_debug_implementations)]
 
 pub mod dsm;
+pub(crate) mod facecore;
 pub mod grd;
+pub mod gvg;
 pub mod lgk;
 pub mod lgs;
+pub mod mcfr;
 pub mod pbm;
 pub mod smt;
 pub(crate) mod util;
 
 pub use dsm::DsmRouter;
 pub use grd::GrdRouter;
+pub use gvg::GvgRouter;
 pub use lgk::LgkRouter;
 pub use lgs::LgsRouter;
+pub use mcfr::McfrRouter;
 pub use pbm::{PbmConfig, PbmRouter};
 pub use smt::SmtRouter;

@@ -1,0 +1,144 @@
+//! MCFR: concurrent face routing multicast (arXiv:1706.05263).
+//!
+//! MCFR extends greedy geographic multicast with *concurrent* face
+//! routing: when a destination stalls at a greedy local minimum, the node
+//! launches two FACE-1 traversals at once — one counterclockwise, one
+//! clockwise — so the packet races the short way around the void against
+//! the long way instead of committing to one orientation. Whichever agent
+//! first reaches a node strictly closer than the stall point is promoted
+//! back to greedy (keeping its orientation, so a later stall re-enters
+//! face mode without fanning out again). The payoff is bounded
+//! worst-case detours at the cost of duplicate transmissions; the
+//! guarantee — zero unjustified failures on connected topologies — is
+//! machine-checked by the certificate proptests in `gmp-bench`.
+
+use gmp_sim::{Forward, MulticastPacket, NodeContext, Protocol};
+
+use crate::facecore::FaceMulticast;
+
+/// Concurrent face routing multicast.
+#[derive(Debug)]
+pub struct McfrRouter {
+    core: FaceMulticast,
+}
+
+impl McfrRouter {
+    /// Creates the router.
+    pub fn new() -> Self {
+        McfrRouter {
+            core: FaceMulticast::new(true),
+        }
+    }
+}
+
+impl Default for McfrRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Protocol for McfrRouter {
+    fn name(&self) -> String {
+        "MCFR".into()
+    }
+
+    fn on_packet(
+        &mut self,
+        ctx: &NodeContext<'_>,
+        packet: MulticastPacket,
+        out: &mut Vec<Forward>,
+    ) {
+        self.core.on_packet(ctx, packet, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmp_net::topology::{Hole, Topology, TopologyConfig};
+    use gmp_net::NodeId;
+    use gmp_sim::{FaultPlan, MulticastTask, SimConfig, TaskRunner};
+
+    #[test]
+    fn delivers_on_dense_random_networks() {
+        let config = SimConfig::paper().with_node_count(500);
+        let topo = Topology::random(&config.topology_config(), 42);
+        for seed in 0..5u64 {
+            let task = MulticastTask::random(&topo, 10, seed);
+            let report = TaskRunner::new(&topo, &config).run(&mut McfrRouter::new(), &task);
+            assert!(
+                report.delivered_all(),
+                "seed {seed}: {:?}",
+                report.failed_dests
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_around_voids_with_concurrent_agents() {
+        let tconfig = TopologyConfig::new(800.0, 450, 150.0).with_hole(Hole::Circle {
+            center: gmp_geom::Point::new(400.0, 400.0),
+            radius: 200.0,
+        });
+        let topo = Topology::random(&tconfig, 3);
+        assert!(topo.is_connected());
+        let config = SimConfig::paper()
+            .with_area_side(800.0)
+            .with_node_count(450)
+            .with_max_path_hops(2000);
+        let near = |p: gmp_geom::Point| {
+            topo.nodes()
+                .min_by(|a, b| a.pos.dist_sq(p).total_cmp(&b.pos.dist_sq(p)))
+                .unwrap()
+                .id
+        };
+        let source = near(gmp_geom::Point::new(50.0, 400.0));
+        let dest = near(gmp_geom::Point::new(750.0, 400.0));
+        assert_ne!(source, dest);
+        let task = MulticastTask::new(source, vec![dest]);
+        let report = TaskRunner::new(&topo, &config).run(&mut McfrRouter::new(), &task);
+        assert!(report.delivered_all(), "{:?}", report.failed_dests);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn unreachable_island_fails_without_truncation() {
+        let mut positions: Vec<gmp_geom::Point> = (0..20)
+            .map(|i| gmp_geom::Point::new((i % 5) as f64 * 100.0, (i / 5) as f64 * 100.0))
+            .collect();
+        positions.push(gmp_geom::Point::new(3000.0, 3000.0));
+        let topo = Topology::from_positions(positions, gmp_geom::Aabb::square(4000.0), 150.0);
+        let config = SimConfig::paper().with_node_count(21);
+        let task = MulticastTask::new(NodeId(0), vec![NodeId(20)]);
+        let report = TaskRunner::new(&topo, &config).run(&mut McfrRouter::new(), &task);
+        assert_eq!(
+            report.failed_dests,
+            vec![gmp_sim::FailedDest::new(
+                NodeId(20),
+                gmp_sim::FailureCause::Disconnected
+            )]
+        );
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn zero_unjustified_failures_under_crashes() {
+        let config = SimConfig::paper()
+            .with_node_count(400)
+            .with_max_path_hops(4000);
+        let topo = Topology::random(&config.topology_config(), 11);
+        for seed in 0..4u64 {
+            let plan = FaultPlan::random_crashes(topo.len(), 0.15, 0.0, 900 + seed);
+            let config = config.clone().with_faults(plan);
+            let task = MulticastTask::random(&topo, 8, seed);
+            let report = TaskRunner::new(&topo, &config).run(&mut McfrRouter::new(), &task);
+            assert_eq!(
+                report.unjustified_failures().count(),
+                0,
+                "seed {seed}: {:?}",
+                report.failed_dests
+            );
+            assert!(!report.truncated, "seed {seed} hit the event/hop budget");
+        }
+    }
+}

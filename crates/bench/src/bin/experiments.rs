@@ -26,10 +26,15 @@
 //! * `mactax` — per-protocol MAC retransmission overhead;
 //! * `campaign` — fault-injection robustness sweep, oracle-judged
 //!   (`BENCH_3.json`);
+//! * `guarantees` — the same campaign with the guaranteed-delivery
+//!   protocols (MCFR/GVG) on the panel and path stretch/transmission
+//!   columns: the guarantees-vs-overhead frontier (`BENCH_6.json`);
 //!
 //! or `all` for everything. Results are printed as tables and written as
 //! CSV (plus SVG charts for the figures) under `--out` (default
 //! `results/`). `--threads N` caps the worker pool (default: all cores).
+//! `--protocols GMP,MCFR,…` filters the campaign panels (unknown tokens
+//! warn and are skipped; an empty selection falls back to the default).
 //!
 //! `bench` is different: it runs the fixed perf workload and writes
 //! `BENCH_1.json` (decisions/sec, tasks/sec, wall-clock, allocs/decision)
@@ -133,6 +138,36 @@ struct Args {
     scale: Scale,
     out: PathBuf,
     threads: usize,
+    /// `--protocols` filter for the campaign commands; `None` = the
+    /// command's default panel.
+    protocols: Option<Vec<ProtocolKind>>,
+}
+
+/// Parses the `--protocols` comma-separated token list with the same
+/// warn-and-default discipline as the environment knobs: unknown tokens
+/// are reported on stderr and skipped, and a list that selects nothing
+/// falls back to the command's default panel.
+fn parse_protocol_filter(list: &str) -> Option<Vec<ProtocolKind>> {
+    let mut kinds: Vec<ProtocolKind> = Vec::new();
+    for token in list.split(',').filter(|t| !t.trim().is_empty()) {
+        match ProtocolKind::from_token(token) {
+            Some(kind) => {
+                if !kinds.contains(&kind) {
+                    kinds.push(kind);
+                }
+            }
+            None => eprintln!(
+                "warning: unknown protocol {token:?} in --protocols; ignoring it (known: \
+                 GMP, GMPnr, PBM, LGS, LGK, GRD, DSM, SMT, MCFR, GVG)"
+            ),
+        }
+    }
+    if kinds.is_empty() {
+        eprintln!("warning: --protocols {list:?} selects nothing; using the default panel");
+        None
+    } else {
+        Some(kinds)
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -140,6 +175,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::standard();
     let mut out = PathBuf::from("results");
     let mut threads = 0usize;
+    let mut protocols = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -155,6 +191,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("invalid thread count: {n}"))?;
             }
+            "--protocols" => {
+                let list = it
+                    .next()
+                    .ok_or("--protocols needs a comma-separated list")?;
+                protocols = parse_protocol_filter(&list);
+            }
             c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -164,6 +206,7 @@ fn parse_args() -> Result<Args, String> {
         scale,
         out,
         threads,
+        protocols,
     })
 }
 
@@ -1148,30 +1191,48 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// The robustness campaign behind `BENCH_3.json`: crash an increasing
-/// fraction of nodes at t = 0 and let the delivery-guarantee oracle split
-/// every failed destination into justified (graph-disconnected) and
-/// unjustified (protocol-attributable) losses. See EXPERIMENTS.md.
-fn run_campaign(args: &Args) {
+/// Identity of one campaign flavor: its table heading and output names.
+struct CampaignSpec {
+    title: &'static str,
+    schema: &'static str,
+    csv_name: &'static str,
+    json_name: &'static str,
+}
+
+/// Runs a fault-injection campaign over `protocols` × `intensities` and
+/// emits the table, the CSV, and the schema'd JSON under `--out`. Shared
+/// by `campaign` (`BENCH_3.json`) and `guarantees` (`BENCH_6.json`).
+fn emit_campaign(
+    args: &Args,
+    config: &SimConfig,
+    protocols: &[ProtocolKind],
+    intensities: &[f64],
+    k: usize,
+    spec: &CampaignSpec,
+) {
+    let &CampaignSpec {
+        title,
+        schema,
+        csv_name,
+        json_name,
+    } = spec;
     use gmp_bench::campaign::robustness_campaign;
     use gmp_sim::FailureCause;
 
-    let config = SimConfig::paper();
-    let protocols = [
-        ProtocolKind::Gmp,
-        ProtocolKind::Lgs,
-        ProtocolKind::Grd,
-        ProtocolKind::Smt,
-    ];
-    let intensities = [0.0, 0.05, 0.10, 0.20];
-    let k = 10usize;
     eprintln!(
-        "running robustness campaign: intensity ∈ {intensities:?}, k = {k}, {} networks × {} tasks…",
-        args.scale.networks, args.scale.tasks_per_network
+        "running {}: intensity ∈ {intensities:?}, k = {k}, {} networks × {} tasks, {} protocols…",
+        args.command,
+        args.scale.networks,
+        args.scale.tasks_per_network,
+        protocols.len()
     );
     let start = Instant::now();
-    let rows = robustness_campaign(&config, &args.scale, &protocols, &intensities, k);
-    eprintln!("campaign finished in {:.1}s", start.elapsed().as_secs_f64());
+    let rows = robustness_campaign(config, &args.scale, protocols, intensities, k);
+    eprintln!(
+        "{} finished in {:.1}s",
+        args.command,
+        start.elapsed().as_secs_f64()
+    );
 
     let mut table = vec![vec![
         "intensity".to_string(),
@@ -1181,6 +1242,8 @@ fn run_campaign(args: &Args) {
         "unjustified".to_string(),
         "unjust rate".to_string(),
         "dest hops".to_string(),
+        "stretch".to_string(),
+        "txs".to_string(),
         "hop overhead".to_string(),
     ]];
     for r in &rows {
@@ -1192,6 +1255,12 @@ fn run_campaign(args: &Args) {
             r.unjustified_failures.to_string(),
             format!("{:.4}", r.unjustified_rate),
             format!("{:.2}", r.mean_dest_hops),
+            if r.mean_path_stretch.is_finite() {
+                format!("{:.3}", r.mean_path_stretch)
+            } else {
+                "-".into()
+            },
+            format!("{:.1}", r.total_hops),
             if r.hop_overhead.is_finite() {
                 format!("{:+.1}%", r.hop_overhead * 100.0)
             } else {
@@ -1199,24 +1268,27 @@ fn run_campaign(args: &Args) {
             },
         ]);
     }
-    println!(
-        "\nRobustness campaign — delivery under node crashes, oracle-judged\n{}",
-        render_table(&table)
-    );
-    let csv_path = args.out.join("campaign.csv");
+    println!("\n{title}\n{}", render_table(&table));
+    let csv_path = args.out.join(csv_name);
     match write_csv(&csv_path, &table) {
         Ok(()) => eprintln!("wrote {}", csv_path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", csv_path.display()),
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"gmp-bench/3\",\n  \"workload\": {\n");
+    json.push_str(&format!(
+        "{{\n  \"schema\": \"{schema}\",\n  \"workload\": {{\n"
+    ));
     json.push_str(&format!("    \"nodes\": {},\n", config.node_count));
     json.push_str(&format!("    \"k\": {k},\n"));
     json.push_str(&format!("    \"networks\": {},\n", args.scale.networks));
     json.push_str(&format!(
         "    \"tasks_per_network\": {},\n",
         args.scale.tasks_per_network
+    ));
+    json.push_str(&format!(
+        "    \"max_path_hops\": {},\n",
+        config.max_path_hops
     ));
     json.push_str(&format!(
         "    \"intensities\": [{}],\n",
@@ -1243,8 +1315,8 @@ fn run_campaign(args: &Args) {
         json.push_str(&format!(
             "    {{ \"intensity\": {}, \"protocol\": \"{}\", \"delivered\": {}, \"total_dests\": {}, \
              \"delivery_ratio\": {}, \"justified_failures\": {}, \"unjustified_failures\": {}, \
-             \"unjustified_rate\": {}, \"mean_dest_hops\": {}, \"total_hops\": {}, \
-             \"hop_overhead\": {}, \"causes\": {{ {} }} }}{}\n",
+             \"unjustified_rate\": {}, \"mean_dest_hops\": {}, \"mean_path_stretch\": {}, \
+             \"total_hops\": {}, \"hop_overhead\": {}, \"causes\": {{ {} }} }}{}\n",
             r.intensity,
             r.protocol,
             r.delivered,
@@ -1254,6 +1326,7 @@ fn run_campaign(args: &Args) {
             r.unjustified_failures,
             json_f64(r.unjustified_rate),
             json_f64(r.mean_dest_hops),
+            json_f64(r.mean_path_stretch),
             json_f64(r.total_hops),
             json_f64(r.hop_overhead),
             causes,
@@ -1267,11 +1340,74 @@ fn run_campaign(args: &Args) {
     if let Err(e) = std::fs::create_dir_all(&args.out) {
         eprintln!("warning: could not create {}: {e}", args.out.display());
     }
-    let path = args.out.join("BENCH_3.json");
+    let path = args.out.join(json_name);
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
+}
+
+/// The robustness campaign behind `BENCH_3.json`: crash an increasing
+/// fraction of nodes at t = 0 and let the delivery-guarantee oracle split
+/// every failed destination into justified (graph-disconnected) and
+/// unjustified (protocol-attributable) losses. See EXPERIMENTS.md.
+fn run_campaign(args: &Args) {
+    let config = SimConfig::paper();
+    let protocols = args.protocols.clone().unwrap_or_else(|| {
+        vec![
+            ProtocolKind::Gmp,
+            ProtocolKind::Lgs,
+            ProtocolKind::Grd,
+            ProtocolKind::Smt,
+        ]
+    });
+    emit_campaign(
+        args,
+        &config,
+        &protocols,
+        &[0.0, 0.05, 0.10, 0.20],
+        10,
+        &CampaignSpec {
+            title: "Robustness campaign — delivery under node crashes, oracle-judged",
+            schema: "gmp-bench/3",
+            csv_name: "campaign.csv",
+            json_name: "BENCH_3.json",
+        },
+    );
+}
+
+/// The guarantees-vs-overhead frontier behind `BENCH_6.json`: the same
+/// oracle-judged crash campaign, with the guaranteed-delivery protocols
+/// (MCFR/GVG) alongside the best-effort panel so delivery ratio,
+/// unjustified failures, transmissions, and path stretch can be traded
+/// off in one table. The hop budget is raised well above the campaign
+/// default because FACE-1 void detours are long but finite — a truncated
+/// walk would void the certificate. See EXPERIMENTS.md.
+fn run_guarantees(args: &Args) {
+    let config = SimConfig::paper().with_max_path_hops(4000);
+    let protocols = args.protocols.clone().unwrap_or_else(|| {
+        vec![
+            ProtocolKind::Gmp,
+            ProtocolKind::Lgs,
+            ProtocolKind::Grd,
+            ProtocolKind::Smt,
+            ProtocolKind::Mcfr,
+            ProtocolKind::Gvg,
+        ]
+    });
+    emit_campaign(
+        args,
+        &config,
+        &protocols,
+        &[0.0, 0.05, 0.10, 0.20],
+        10,
+        &CampaignSpec {
+            title: "Guarantees frontier — guaranteed delivery vs overhead, oracle-judged",
+            schema: "gmp-bench/6",
+            csv_name: "guarantees.csv",
+            json_name: "BENCH_6.json",
+        },
+    );
 }
 
 fn main() -> ExitCode {
@@ -1280,8 +1416,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: experiments <all|bench|scale|service|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax|campaign> \
-                 [--quick|--standard|--paper] [--threads N] [--out DIR]"
+                "usage: experiments <all|bench|scale|service|fig11|fig12|fig14|figlatency|fig15|overhead|treelen|planar|pbm|mobility|power|range|loss|fig15mac|mactax|campaign|guarantees> \
+                 [--quick|--standard|--paper] [--threads N] [--out DIR] [--protocols LIST]"
             );
             return ExitCode::FAILURE;
         }
@@ -1308,6 +1444,7 @@ fn main() -> ExitCode {
             run_fig15mac(&args);
             run_mactax(&args);
             run_campaign(&args);
+            run_guarantees(&args);
         }
         "fig11" => run_sweep_figures(&args, &["fig11"]),
         "fig12" => run_sweep_figures(&args, &["fig12"]),
@@ -1322,6 +1459,7 @@ fn main() -> ExitCode {
         "fig15mac" => run_fig15mac(&args),
         "mactax" => run_mactax(&args),
         "campaign" => run_campaign(&args),
+        "guarantees" => run_guarantees(&args),
         "fig15" => run_fig15(&args),
         "overhead" => run_overhead(&args),
         "treelen" => run_treelen(&args),

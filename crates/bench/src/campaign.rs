@@ -13,8 +13,8 @@
 
 use std::sync::Arc;
 
-use gmp_net::Topology;
-use gmp_sim::{FailureCause, FaultPlan, MulticastTask, SimConfig};
+use gmp_net::{NodeId, Topology};
+use gmp_sim::{FailureCause, FaultEvent, FaultPlan, MulticastTask, SimConfig};
 
 use crate::experiments::{network_seed, parallel_map, task_seed, Scale};
 use crate::protocols::ProtocolKind;
@@ -46,6 +46,12 @@ pub struct CampaignRow {
     pub unjustified_rate: f64,
     /// Mean per-destination hop count over delivered destinations.
     pub mean_dest_hops: f64,
+    /// Mean path stretch over delivered destinations: delivered hop count
+    /// divided by the BFS hop distance on the faulted graph (1.0 =
+    /// shortest possible; `NaN` when nothing was delivered). The
+    /// guarantees-vs-overhead frontier plots this against
+    /// `unjustified_rate`.
+    pub mean_path_stretch: f64,
     /// Mean transmissions per task.
     pub total_hops: f64,
     /// `total_hops` relative to the same protocol's intensity-0 row
@@ -55,6 +61,40 @@ pub struct CampaignRow {
     pub cause_counts: [usize; CAUSE_COUNT],
     /// Tasks aggregated into this row.
     pub tasks: usize,
+}
+
+/// Per-node liveness implied by a campaign fault plan at t = 0 (the
+/// campaigns crash nodes only at the start, so this is the whole story).
+/// The task source is always exempt, matching the runtime.
+fn initial_alive(plan: &FaultPlan, n: usize, source: NodeId) -> Vec<bool> {
+    let mut alive = vec![true; n];
+    for e in &plan.events {
+        if let FaultEvent::Crash { node, at_s } = e {
+            if *at_s <= 0.0 {
+                alive[node.index()] = false;
+            }
+        }
+    }
+    alive[source.index()] = true;
+    alive
+}
+
+/// BFS hop distances from `source` over the alive unit-disk graph
+/// (`u32::MAX` = unreachable).
+fn bfs_hops(topo: &Topology, alive: &[bool], source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; topo.len()];
+    dist[source.index()] = 0;
+    let mut q = std::collections::VecDeque::from([source]);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        for &v in topo.neighbors(u) {
+            if alive[v.index()] && dist[v.index()] == u32::MAX {
+                dist[v.index()] = du + 1;
+                q.push_back(v);
+            }
+        }
+    }
+    dist
 }
 
 /// Seed of the crash-placement shuffle for one (network, intensity) cell.
@@ -93,6 +133,8 @@ pub fn robustness_campaign(
         unjustified: usize,
         dest_hops: f64,
         dest_hops_n: usize,
+        stretch: f64,
+        stretch_n: usize,
         hops: f64,
         causes: [usize; CAUSE_COUNT],
     }
@@ -127,6 +169,8 @@ pub fn robustness_campaign(
             unjustified: 0,
             dest_hops: 0.0,
             dest_hops_n: 0,
+            stretch: 0.0,
+            stretch_n: 0,
             hops: 0.0,
             causes: [0; CAUSE_COUNT],
         };
@@ -139,6 +183,17 @@ pub fn robustness_campaign(
             if let Some(h) = report.mean_dest_hops() {
                 p.dest_hops += h;
                 p.dest_hops_n += 1;
+            }
+            if !report.delivery_hops.is_empty() {
+                let alive = initial_alive(&config.faults, base.node_count, task.source);
+                let shortest = bfs_hops(topo, &alive, task.source);
+                for (&d, &h) in &report.delivery_hops {
+                    let s = shortest[d.index()];
+                    if s > 0 && s != u32::MAX {
+                        p.stretch += h as f64 / s as f64;
+                        p.stretch_n += 1;
+                    }
+                }
             }
             for f in &report.failed_dests {
                 p.causes[f.cause.index()] += 1;
@@ -164,6 +219,8 @@ pub fn robustness_campaign(
             let mut unjustified = 0usize;
             let mut dest_hops = 0.0;
             let mut dest_hops_n = 0usize;
+            let mut stretch = 0.0;
+            let mut stretch_n = 0usize;
             let mut hops = 0.0;
             let mut causes = [0usize; CAUSE_COUNT];
             for p in &partials {
@@ -174,6 +231,8 @@ pub fn robustness_campaign(
                     unjustified += p.unjustified;
                     dest_hops += p.dest_hops;
                     dest_hops_n += p.dest_hops_n;
+                    stretch += p.stretch;
+                    stretch_n += p.stretch_n;
                     hops += p.hops;
                     for (slot, c) in causes.iter_mut().zip(p.causes) {
                         *slot += c;
@@ -192,6 +251,11 @@ pub fn robustness_campaign(
                 unjustified_rate: unjustified as f64 / total_dests.max(1) as f64,
                 mean_dest_hops: if dest_hops_n > 0 {
                     dest_hops / dest_hops_n as f64
+                } else {
+                    f64::NAN
+                },
+                mean_path_stretch: if stretch_n > 0 {
+                    stretch / stretch_n as f64
                 } else {
                     f64::NAN
                 },
@@ -265,6 +329,47 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].delivery_ratio, 1.0, "{:?}", rows[0]);
         assert_eq!(rows[0].hop_overhead, 0.0);
+    }
+
+    #[test]
+    fn path_stretch_is_at_least_one_and_tracks_shortest_paths() {
+        let (config, scale) = tiny();
+        let rows = robustness_campaign(
+            &config,
+            &scale,
+            &[ProtocolKind::Grd, ProtocolKind::Mcfr, ProtocolKind::Gvg],
+            &[0.0, 0.1],
+            6,
+        );
+        for r in &rows {
+            if r.delivered > 0 {
+                assert!(
+                    r.mean_path_stretch >= 1.0 - 1e-9,
+                    "no protocol can beat BFS shortest hops: {r:?}"
+                );
+                assert!(r.mean_path_stretch.is_finite(), "{r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn guaranteed_protocols_have_zero_unjustified_failures_in_campaign() {
+        let (config, scale) = tiny();
+        let config = config.with_max_path_hops(4000);
+        let rows = robustness_campaign(
+            &config,
+            &scale,
+            &[ProtocolKind::Mcfr, ProtocolKind::Gvg],
+            &[0.0, 0.15, 0.3],
+            6,
+        );
+        for r in &rows {
+            assert_eq!(
+                r.unjustified_failures, 0,
+                "{} leaked unjustified failures at intensity {}: {r:?}",
+                r.protocol, r.intensity
+            );
+        }
     }
 
     #[test]

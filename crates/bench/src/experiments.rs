@@ -125,19 +125,15 @@ pub fn threads_from_env() -> usize {
 /// any warnings the caller should surface.
 pub fn threads_from_lookup(lookup: impl Fn(&str) -> Option<String>) -> (usize, Vec<String>) {
     let mut warnings = Vec::new();
-    let threads = match lookup("GMP_BENCH_THREADS") {
-        None => 0,
-        Some(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) => n,
-            Err(_) => {
-                warnings.push(format!(
-                    "GMP_BENCH_THREADS={raw:?} is not a non-negative integer; \
-                     using all available cores"
-                ));
-                0
-            }
-        },
-    };
+    let threads = gmp_sim::env_knob(
+        lookup,
+        "GMP_BENCH_THREADS",
+        0,
+        "is not a non-negative integer",
+        "all available cores",
+        |raw| raw.trim().parse::<usize>().ok(),
+        &mut warnings,
+    );
     (threads, warnings)
 }
 

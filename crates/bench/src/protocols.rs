@@ -1,6 +1,8 @@
 //! A uniform factory over every protocol in the evaluation.
 
-use gmp_baselines::{DsmRouter, GrdRouter, LgkRouter, LgsRouter, PbmRouter, SmtRouter};
+use gmp_baselines::{
+    DsmRouter, GrdRouter, GvgRouter, LgkRouter, LgsRouter, McfrRouter, PbmRouter, SmtRouter,
+};
 use gmp_core::GmpRouter;
 use gmp_net::Topology;
 use gmp_sim::{MulticastTask, Protocol, SimConfig, TaskReport, TaskRunner};
@@ -31,6 +33,11 @@ pub enum ProtocolKind {
     Dsm,
     /// Centralized KMB Steiner tree with source routing.
     Smt,
+    /// Concurrent face routing multicast (guaranteed delivery) — extension.
+    Mcfr,
+    /// Greedy multicast with GVG-style void traversal (guaranteed
+    /// delivery) — extension.
+    Gvg,
 }
 
 impl ProtocolKind {
@@ -46,6 +53,27 @@ impl ProtocolKind {
             ProtocolKind::Grd => "GRD".into(),
             ProtocolKind::Dsm => "DSM".into(),
             ProtocolKind::Smt => "SMT".into(),
+            ProtocolKind::Mcfr => "MCFR".into(),
+            ProtocolKind::Gvg => "GVG".into(),
+        }
+    }
+
+    /// Parses a user-facing protocol token (the `--protocols` filter
+    /// flag): the label, case-insensitively, with `LGK`/`PBM` accepting
+    /// their parameterless spellings.
+    pub fn from_token(token: &str) -> Option<ProtocolKind> {
+        match token.trim().to_ascii_uppercase().as_str() {
+            "GMP" => Some(ProtocolKind::Gmp),
+            "GMPNR" => Some(ProtocolKind::GmpNr),
+            "PBM" => Some(ProtocolKind::PbmBest),
+            "LGS" => Some(ProtocolKind::Lgs),
+            "LGK" => Some(ProtocolKind::Lgk(2)),
+            "GRD" => Some(ProtocolKind::Grd),
+            "DSM" => Some(ProtocolKind::Dsm),
+            "SMT" => Some(ProtocolKind::Smt),
+            "MCFR" => Some(ProtocolKind::Mcfr),
+            "GVG" => Some(ProtocolKind::Gvg),
+            _ => None,
         }
     }
 
@@ -64,6 +92,8 @@ impl ProtocolKind {
             ProtocolKind::Grd => Box::new(GrdRouter::new()),
             ProtocolKind::Dsm => Box::new(DsmRouter::new()),
             ProtocolKind::Smt => Box::new(SmtRouter::new()),
+            ProtocolKind::Mcfr => Box::new(McfrRouter::new()),
+            ProtocolKind::Gvg => Box::new(GvgRouter::new()),
         }
     }
 
@@ -114,6 +144,8 @@ mod tests {
             ProtocolKind::Grd,
             ProtocolKind::Dsm,
             ProtocolKind::Smt,
+            ProtocolKind::Mcfr,
+            ProtocolKind::Gvg,
         ];
         let labels: Vec<String> = kinds.iter().map(|k| k.label()).collect();
         for l in &labels {
@@ -141,6 +173,8 @@ mod tests {
             ProtocolKind::Grd,
             ProtocolKind::Dsm,
             ProtocolKind::Smt,
+            ProtocolKind::Mcfr,
+            ProtocolKind::Gvg,
         ] {
             let report = kind.run_task(&topo, &config, &task);
             assert!(
@@ -150,6 +184,33 @@ mod tests {
                 report.failed_dests
             );
         }
+    }
+
+    #[test]
+    fn tokens_round_trip_for_every_unparameterized_kind() {
+        for kind in [
+            ProtocolKind::Gmp,
+            ProtocolKind::GmpNr,
+            ProtocolKind::PbmBest,
+            ProtocolKind::Lgs,
+            ProtocolKind::Grd,
+            ProtocolKind::Dsm,
+            ProtocolKind::Smt,
+            ProtocolKind::Mcfr,
+            ProtocolKind::Gvg,
+        ] {
+            assert_eq!(ProtocolKind::from_token(&kind.label()), Some(kind));
+            assert_eq!(
+                ProtocolKind::from_token(&kind.label().to_lowercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(
+            ProtocolKind::from_token(" lgk "),
+            Some(ProtocolKind::Lgk(2))
+        );
+        assert_eq!(ProtocolKind::from_token("nope"), None);
+        assert_eq!(ProtocolKind::from_token(""), None);
     }
 
     #[test]

@@ -96,26 +96,28 @@ impl CacheConfig {
     pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> (Self, Vec<String>) {
         let mut config = CacheConfig::default();
         let mut warnings = Vec::new();
-        if let Some(raw) = lookup("GMP_CACHE_CAPACITY") {
-            match raw.parse::<usize>() {
-                Ok(cap) if cap > 0 => config.capacity = cap,
-                _ => warnings.push(format!(
-                    "GMP_CACHE_CAPACITY={raw:?} is not a positive integer; \
-                     using default {}",
-                    config.capacity
-                )),
-            }
-        }
-        if let Some(raw) = lookup("GMP_CACHE_QUANTUM") {
-            match raw.parse::<f64>() {
-                Ok(q) if q.is_finite() && q > 0.0 => config.quantum = q,
-                _ => warnings.push(format!(
-                    "GMP_CACHE_QUANTUM={raw:?} is not a positive finite number; \
-                     using default {}",
-                    config.quantum
-                )),
-            }
-        }
+        config.capacity = gmp_sim::env_knob(
+            &lookup,
+            "GMP_CACHE_CAPACITY",
+            config.capacity,
+            "is not a positive integer",
+            &format!("default {}", config.capacity),
+            |raw| raw.parse::<usize>().ok().filter(|&cap| cap > 0),
+            &mut warnings,
+        );
+        config.quantum = gmp_sim::env_knob(
+            &lookup,
+            "GMP_CACHE_QUANTUM",
+            config.quantum,
+            "is not a positive finite number",
+            &format!("default {}", config.quantum),
+            |raw| {
+                raw.parse::<f64>()
+                    .ok()
+                    .filter(|&q| q.is_finite() && q > 0.0)
+            },
+            &mut warnings,
+        );
         // Any value but "0" enables paranoid mode — no malformed case, by
         // construction.
         if let Some(raw) = lookup("GMP_CACHE_PARANOID") {

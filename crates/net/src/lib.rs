@@ -11,6 +11,8 @@
 //! * [`planar`] — local planarization by Gabriel graph and Relative
 //!   Neighborhood Graph, as required by right-hand-rule traversal \[29, 9\];
 //! * [`face`] — GPSR-style perimeter (face) routing primitives \[4, 13\];
+//! * [`traversal`] — guaranteed-delivery FACE-1 face walks (both
+//!   orientations, live-subgraph planarization) for MCFR/GVG;
 //! * [`graph`] — generic shortest-path utilities over the unit-disk graph,
 //!   used by the centralized SMT baseline.
 //!
@@ -42,6 +44,7 @@ pub mod node;
 pub mod planar;
 pub mod shard;
 pub mod topology;
+pub mod traversal;
 
 pub use csr::Csr;
 pub use face::PerimeterState;
@@ -49,3 +52,4 @@ pub use node::{Node, NodeId};
 pub use planar::PlanarKind;
 pub use shard::{RegionView, ShardConfig, ShardedTopology};
 pub use topology::{Topology, TopologyConfig};
+pub use traversal::{FaceDir, FacePhase, FaceScratch, FaceWalk};

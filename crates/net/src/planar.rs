@@ -73,6 +73,50 @@ pub fn local_planar_neighbors(topo: &Topology, u: NodeId, kind: PlanarKind) -> V
     kept
 }
 
+/// Computes the planar neighbor list of `u` within the *live* subgraph:
+/// dead neighbors are dropped, and — just as important — dead nodes no
+/// longer act as witnesses, so an edge a dead witness used to suppress is
+/// revived. Face traversal over a faulted network must use this (the
+/// cached full-topology planarization can disconnect the live subgraph).
+///
+/// With an all-true mask this produces exactly
+/// [`local_planar_neighbors`] — same iteration order, same predicates —
+/// which the determinism parity suites rely on.
+///
+/// Writes into `out` (cleared first) so per-hop calls allocate nothing
+/// after warm-up.
+pub fn live_planar_neighbors_into(
+    topo: &Topology,
+    u: NodeId,
+    kind: PlanarKind,
+    alive: &[bool],
+    out: &mut Vec<NodeId>,
+) {
+    out.clear();
+    let pu = topo.pos(u);
+    let neigh = topo.neighbors(u);
+    'edges: for &v in neigh {
+        if !alive[v.index()] {
+            continue;
+        }
+        let pv = topo.pos(v);
+        for &w in neigh {
+            if w == v || !alive[w.index()] {
+                continue;
+            }
+            let pw = topo.pos(w);
+            let blocked = match kind {
+                PlanarKind::Gabriel => in_diametral_disk(pw, pu, pv),
+                PlanarKind::RelativeNeighborhood => in_lune(pw, pu, pv),
+            };
+            if blocked {
+                continue 'edges;
+            }
+        }
+        out.push(v);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +249,234 @@ mod tests {
         assert!(!gg.row(0).contains(&NodeId(2)));
         assert!(gg.row(0).contains(&NodeId(1)));
         assert!(gg.row(2).contains(&NodeId(1)));
+    }
+
+    fn assert_symmetric_and_contained(topo: &Topology) {
+        let gg = planarize(topo, PlanarKind::Gabriel);
+        let rng = planarize(topo, PlanarKind::RelativeNeighborhood);
+        for (i, list) in gg.iter().enumerate() {
+            let u = NodeId(i as u32);
+            for &v in list {
+                assert!(topo.neighbors(u).contains(&v));
+                assert!(gg.row(v.index()).contains(&u), "GG asymmetric at ({i},{v})");
+            }
+        }
+        for (i, list) in rng.iter().enumerate() {
+            let u = NodeId(i as u32);
+            for &v in list {
+                assert!(
+                    rng.row(v.index()).contains(&u),
+                    "RNG asymmetric at ({i},{v})"
+                );
+                assert!(gg.row(i).contains(&v), "RNG edge ({i},{v}) not in GG");
+            }
+        }
+    }
+
+    fn assert_connectivity_preserved(topo: &Topology) {
+        assert!(topo.is_connected(), "test topology must start connected");
+        for kind in [PlanarKind::Gabriel, PlanarKind::RelativeNeighborhood] {
+            let adj = planarize(topo, kind);
+            let mut seen = vec![false; topo.len()];
+            let mut q = std::collections::VecDeque::from([0usize]);
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(u) = q.pop_front() {
+                for &v in adj.row(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        count += 1;
+                        q.push_back(v.index());
+                    }
+                }
+            }
+            assert_eq!(count, topo.len(), "{kind:?} disconnected the graph");
+        }
+    }
+
+    #[test]
+    fn collinear_chain_stays_connected_and_symmetric() {
+        // Five exactly collinear nodes, all pairs within range: every long
+        // edge has an interior witness, so only consecutive edges survive —
+        // but the chain must stay connected, symmetric, and RNG ⊆ GG.
+        let topo = Topology::from_positions(
+            (0..5).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect(),
+            Aabb::square(100.0),
+            100.0,
+        );
+        assert_symmetric_and_contained(&topo);
+        assert_connectivity_preserved(&topo);
+        let gg = planarize(&topo, PlanarKind::Gabriel);
+        for i in 0..4usize {
+            assert!(gg.row(i).contains(&NodeId(i as u32 + 1)));
+        }
+        assert!(!gg.row(0).contains(&NodeId(2)));
+        assert!(!gg.row(0).contains(&NodeId(4)));
+    }
+
+    #[test]
+    fn witness_exactly_on_diametral_circle_does_not_block() {
+        // w = (5, 5) sits exactly on the circle with diameter u–v: the
+        // Gabriel test is strict (open disk), so the edge survives the tie.
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(5.0, 5.0),
+            ],
+            Aabb::square(50.0),
+            20.0,
+        );
+        let gg = planarize(&topo, PlanarKind::Gabriel);
+        assert!(
+            gg.row(0).contains(&NodeId(1)),
+            "boundary witness must not block"
+        );
+        assert!(gg.row(1).contains(&NodeId(0)));
+        // Nudge the witness strictly inside: now it must block.
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(5.0, 4.9),
+            ],
+            Aabb::square(50.0),
+            20.0,
+        );
+        let gg = planarize(&topo, PlanarKind::Gabriel);
+        assert!(
+            !gg.row(0).contains(&NodeId(1)),
+            "interior witness must block"
+        );
+    }
+
+    #[test]
+    fn witness_exactly_on_lune_boundary_does_not_block_rng() {
+        // w equidistant (= d) from both endpoints sits on the closed lune
+        // boundary; the RNG test is strict, so the edge survives.
+        let tie = Point::new(5.0, 75.0_f64.sqrt()); // |wu| = |wv| = 10 = |uv|
+        let topo = Topology::from_positions(
+            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), tie],
+            Aabb::square(50.0),
+            20.0,
+        );
+        let rng = planarize(&topo, PlanarKind::RelativeNeighborhood);
+        assert!(
+            rng.row(0).contains(&NodeId(1)),
+            "lune-boundary tie must not block"
+        );
+        // Strictly inside the lune: blocked.
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(5.0, 8.0),
+            ],
+            Aabb::square(50.0),
+            20.0,
+        );
+        let rng = planarize(&topo, PlanarKind::RelativeNeighborhood);
+        assert!(
+            !rng.row(0).contains(&NodeId(1)),
+            "lune-interior witness must block"
+        );
+    }
+
+    #[test]
+    fn duplicate_position_nodes_neither_block_nor_disconnect() {
+        // Node 3 duplicates node 0's position exactly. A zero-distance
+        // twin is never a witness (every predicate is strict), both copies
+        // keep their edges, and the graphs stay symmetric and connected.
+        let topo = Topology::from_positions(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(20.0, 0.0),
+                Point::new(0.0, 0.0),
+            ],
+            Aabb::square(50.0),
+            15.0,
+        );
+        assert_symmetric_and_contained(&topo);
+        assert_connectivity_preserved(&topo);
+        let gg = planarize(&topo, PlanarKind::Gabriel);
+        assert!(gg.row(0).contains(&NodeId(1)), "twin must not block 0-1");
+        assert!(gg.row(3).contains(&NodeId(1)), "twin keeps its own edges");
+        assert!(gg.row(0).contains(&NodeId(3)), "zero-length edge survives");
+    }
+
+    #[test]
+    fn live_filter_with_all_alive_matches_unfiltered() {
+        let topo = random_topo(26);
+        let alive = vec![true; topo.len()];
+        let mut buf = Vec::new();
+        for kind in [PlanarKind::Gabriel, PlanarKind::RelativeNeighborhood] {
+            for i in 0..topo.len() {
+                let u = NodeId(i as u32);
+                live_planar_neighbors_into(&topo, u, kind, &alive, &mut buf);
+                assert_eq!(
+                    buf.as_slice(),
+                    local_planar_neighbors(&topo, u, kind).as_slice(),
+                    "node {i} {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_filter_preserves_live_subgraph_connectivity() {
+        // Kill 20% of nodes; wherever the live unit-disk graph is
+        // connected, the live-filtered Gabriel graph must be too.
+        let topo = random_topo(27);
+        let mut alive = vec![true; topo.len()];
+        for i in (0..topo.len()).step_by(5) {
+            alive[i] = false;
+        }
+        // BFS on the live UDG from the first live node.
+        let start = alive.iter().position(|&a| a).unwrap();
+        let reach = |adj: &mut dyn FnMut(usize) -> Vec<usize>| {
+            let mut seen = vec![false; topo.len()];
+            let mut q = std::collections::VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(u) = q.pop_front() {
+                for v in adj(u) {
+                    if alive[v] && !seen[v] {
+                        seen[v] = true;
+                        q.push_back(v);
+                    }
+                }
+            }
+            seen
+        };
+        let udg = reach(&mut |u| {
+            topo.neighbors(NodeId(u as u32))
+                .iter()
+                .map(|n| n.index())
+                .collect()
+        });
+        let mut buf = Vec::new();
+        let gg = reach(&mut |u| {
+            live_planar_neighbors_into(
+                &topo,
+                NodeId(u as u32),
+                PlanarKind::Gabriel,
+                &alive,
+                &mut buf,
+            );
+            buf.iter().map(|n| n.index()).collect()
+        });
+        for i in 0..topo.len() {
+            if alive[i] {
+                assert_eq!(
+                    udg[i], gg[i],
+                    "live Gabriel reachability diverges from live UDG at node {i}"
+                );
+            }
+        }
+        assert!(
+            udg.iter().filter(|&&s| s).count() > 1,
+            "test must be non-trivial"
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gmp_geom::Point;
-use gmp_net::{NodeId, PerimeterState};
+use gmp_net::traversal::{Crossing, FacePhase};
+use gmp_net::{FaceDir, FaceWalk, NodeId, PerimeterState};
 
 /// Per-protocol routing state carried inside a packet.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -35,6 +36,17 @@ pub enum RoutingState {
     /// A full source-routed tree: `children[v]` lists where node `v` must
     /// forward copies (the centralized SMT baseline).
     SourceTree(Arc<HashMap<NodeId, Vec<NodeId>>>),
+    /// A guaranteed-delivery face agent (MCFR/GVG). `walk` is `Some` while
+    /// a FACE-1 traversal is in progress and `None` after promotion back
+    /// to greedy; `dir` persists either way so a re-stalled agent resumes
+    /// traversal in its lineage direction (bounding MCFR to two agents
+    /// per destination).
+    Face {
+        /// Traversal orientation this agent is committed to.
+        dir: FaceDir,
+        /// The in-progress FACE-1 walk, if any.
+        walk: Option<FaceWalk>,
+    },
 }
 
 /// The destination list of a packet, shared by reference count.
@@ -174,6 +186,37 @@ impl MulticastPacket {
                 b.put_u8(2);
                 b.put_u32(target.0);
             }
+            RoutingState::Face { dir, walk } => {
+                b.put_u8(4);
+                b.put_u8(match dir {
+                    FaceDir::Ccw => 0,
+                    FaceDir::Cw => 1,
+                });
+                match walk {
+                    None => b.put_u8(0),
+                    Some(w) => {
+                        b.put_u8(1);
+                        b.put_f64(w.start_dist);
+                        put_point(&mut b, w.anchor);
+                        b.put_u8(match w.phase {
+                            FacePhase::Scan => 0,
+                            FacePhase::Seek => 1,
+                        });
+                        b.put_u32(w.first.0 .0);
+                        b.put_u32(w.first.1 .0);
+                        b.put_u32(w.prev.0);
+                        match w.best {
+                            None => b.put_u8(0),
+                            Some(c) => {
+                                b.put_u8(1);
+                                b.put_u32(c.edge.0 .0);
+                                b.put_u32(c.edge.1 .0);
+                                put_point(&mut b, c.at);
+                            }
+                        }
+                    }
+                }
+            }
             RoutingState::SourceTree(tree) => {
                 b.put_u8(3);
                 let mut keys: Vec<_> = tree.keys().copied().collect();
@@ -277,6 +320,45 @@ impl MulticastPacket {
                 }
                 RoutingState::SourceTree(Arc::new(tree))
             }
+            4 => {
+                need(&buf, 2)?;
+                let dir = match buf.get_u8() {
+                    0 => FaceDir::Ccw,
+                    1 => FaceDir::Cw,
+                    d => return Err(format!("unknown face direction {d}")),
+                };
+                let walk = if buf.get_u8() == 1 {
+                    need(&buf, 8 + 16 + 1 + 12 + 1)?;
+                    let start_dist = buf.get_f64();
+                    let anchor = get_point(&mut buf);
+                    let phase = match buf.get_u8() {
+                        0 => FacePhase::Scan,
+                        1 => FacePhase::Seek,
+                        p => return Err(format!("unknown face phase {p}")),
+                    };
+                    let first = (NodeId(buf.get_u32()), NodeId(buf.get_u32()));
+                    let prev = NodeId(buf.get_u32());
+                    let best = if buf.get_u8() == 1 {
+                        need(&buf, 24)?;
+                        let edge = (NodeId(buf.get_u32()), NodeId(buf.get_u32()));
+                        let at = get_point(&mut buf);
+                        Some(Crossing { edge, at })
+                    } else {
+                        None
+                    };
+                    Some(FaceWalk {
+                        start_dist,
+                        anchor,
+                        phase,
+                        first,
+                        prev,
+                        best,
+                    })
+                } else {
+                    None
+                };
+                RoutingState::Face { dir, walk }
+            }
             t => return Err(format!("unknown state tag {t}")),
         };
         need(&buf, 2)?;
@@ -361,6 +443,82 @@ mod tests {
         p.state = RoutingState::SourceTree(Arc::new(tree));
         let dec = MulticastPacket::decode(p.encode(&positions())).unwrap();
         assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn face_packet_round_trips() {
+        let mut p = MulticastPacket::new(4, NodeId(0), vec![NodeId(8)]);
+        // Promoted agent: direction only, no walk.
+        p.state = RoutingState::Face {
+            dir: FaceDir::Cw,
+            walk: None,
+        };
+        let dec = MulticastPacket::decode(p.encode(&positions())).unwrap();
+        assert_eq!(dec, p);
+        // Mid-walk agent with a recorded crossing.
+        p.state = RoutingState::Face {
+            dir: FaceDir::Ccw,
+            walk: Some(FaceWalk {
+                start_dist: 42.5,
+                anchor: Point::new(7.0, 8.0),
+                phase: FacePhase::Seek,
+                first: (NodeId(2), NodeId(3)),
+                prev: NodeId(5),
+                best: Some(Crossing {
+                    edge: (NodeId(3), NodeId(6)),
+                    at: Point::new(9.0, 10.0),
+                }),
+            }),
+        };
+        let dec = MulticastPacket::decode(p.encode(&positions())).unwrap();
+        assert_eq!(dec, p);
+        // Scan phase without a best crossing yet.
+        p.state = RoutingState::Face {
+            dir: FaceDir::Ccw,
+            walk: Some(FaceWalk {
+                start_dist: 1.0,
+                anchor: Point::new(0.0, 0.0),
+                phase: FacePhase::Scan,
+                first: (NodeId(0), NodeId(1)),
+                prev: NodeId(0),
+                best: None,
+            }),
+        };
+        let dec = MulticastPacket::decode(p.encode(&positions())).unwrap();
+        assert_eq!(dec, p);
+    }
+
+    #[test]
+    fn face_packet_survives_mutation_and_truncation() {
+        let mut p = MulticastPacket::new(4, NodeId(0), vec![NodeId(8)]);
+        p.state = RoutingState::Face {
+            dir: FaceDir::Ccw,
+            walk: Some(FaceWalk {
+                start_dist: 42.5,
+                anchor: Point::new(7.0, 8.0),
+                phase: FacePhase::Scan,
+                first: (NodeId(2), NodeId(3)),
+                prev: NodeId(5),
+                best: Some(Crossing {
+                    edge: (NodeId(3), NodeId(6)),
+                    at: Point::new(9.0, 10.0),
+                }),
+            }),
+        };
+        let enc = p.encode(&positions());
+        for i in 0..enc.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut bytes = enc.to_vec();
+                bytes[i] ^= flip;
+                let _ = MulticastPacket::decode(Bytes::from(bytes));
+            }
+        }
+        for cut in [19, 21, 30, enc.len() - 1] {
+            assert!(
+                MulticastPacket::decode(enc.slice(0..cut)).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
     }
 
     #[test]
